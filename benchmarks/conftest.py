@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark is one cell of the paper's tables (or one of the ablations),
+executed in-process exactly once per benchmark round so that
+``pytest benchmarks/ --benchmark-only`` completes in a few minutes on a
+laptop.  The full grids with per-cell timeouts (including the ``TO`` rows of
+the paper) are produced by the CLI, e.g.::
+
+    python -m repro table1 --max-n 5 --timeout 600
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,97 @@
+"""Qualitative reproduction benchmarks (E4-E8).
+
+These benchmarks time the analyses behind the paper's qualitative findings and
+assert the findings themselves:
+
+* E4 — FloodSet's earliest decision condition (2) and the refutation of the
+  naive ``t + 1`` hypothesis at ``n = 3, t = 2``.
+* E5 — the Count-FloodSet ``count <= 1`` early exit (condition (3)) and the
+  insufficiency of ``count <= 2``.
+* E6 — Diff provides no SBA improvement over Count.
+* E7 — the Dwork-Moses protocol is a correct SBA protocol.
+* E8 — E_min / E_basic are correct EBA protocols and exact implementations of
+  ``P0`` for ``t < n - 1``.
+"""
+
+from repro.analysis import (
+    check_count_le_two_insufficient,
+    check_diff_no_improvement,
+    count_condition_hypothesis,
+    floodset_condition_hypothesis,
+    naive_floodset_hypothesis,
+)
+from repro.core.synthesis import synthesize_sba
+from repro.factory import build_eba_model, build_sba_model
+from repro.kbp import verify_eba_implementation, verify_sba_implementation
+from repro.protocols import (
+    DworkMosesProtocol,
+    EBasicProtocol,
+    EMinProtocol,
+    FloodSetStandardProtocol,
+)
+
+
+def test_e4_floodset_condition_two(benchmark):
+    def experiment():
+        model = build_sba_model("floodset", num_agents=3, max_faulty=2)
+        result = synthesize_sba(model)
+        naive = result.conditions.check_hypothesis(0, naive_floodset_hypothesis(3, 2, 0))
+        revised = result.conditions.check_hypothesis(
+            0, floodset_condition_hypothesis(3, 2, 0)
+        )
+        late = verify_sba_implementation(model, FloodSetStandardProtocol(3, 2))
+        return naive, revised, late
+
+    naive, revised, late = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert not naive.confirmed
+    assert revised.confirmed
+    assert late.is_sound and not late.is_optimal
+
+
+def test_e5_count_early_exit(benchmark):
+    def experiment():
+        model = build_sba_model("count", num_agents=3, max_faulty=2)
+        result = synthesize_sba(model)
+        hypothesis = result.conditions.check_hypothesis(
+            0, count_condition_hypothesis(3, 2, 0)
+        )
+        return result, hypothesis
+
+    result, hypothesis = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert hypothesis.confirmed
+    assert check_count_le_two_insufficient(result)
+    assert not result.conditions.get(0, 1, 0).always_false()
+
+
+def test_e6_diff_no_improvement(benchmark):
+    def experiment():
+        diff_result = synthesize_sba(build_sba_model("diff", num_agents=3, max_faulty=2))
+        count_result = synthesize_sba(
+            build_sba_model("count", num_agents=3, max_faulty=2)
+        )
+        return check_diff_no_improvement(diff_result, count_result)
+
+    assert benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def test_e7_dwork_moses_correctness(benchmark):
+    def experiment():
+        model = build_sba_model("dwork-moses", num_agents=3, max_faulty=2)
+        return verify_sba_implementation(model, DworkMosesProtocol(3, 2))
+
+    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert report.is_sound
+
+
+def test_e8_eba_implementations(benchmark):
+    def experiment():
+        reports = []
+        for exchange, protocol_cls in (("emin", EMinProtocol), ("ebasic", EBasicProtocol)):
+            model = build_eba_model(
+                exchange, num_agents=3, max_faulty=1, failures="sending"
+            )
+            reports.append(verify_eba_implementation(model, protocol_cls(3, 1)))
+        return reports
+
+    reports = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert all(report.ok for report in reports)

@@ -1,0 +1,42 @@
+"""Reproduction of *Model Checking and Synthesis for Optimal Use of Knowledge
+in Consensus Protocols* (PODC 2025).
+
+The package provides:
+
+* an epistemic model checker and knowledge-based-program synthesizer under
+  the clock semantics of knowledge (:mod:`repro.core`),
+* the information exchanges and failure models studied by the paper
+  (:mod:`repro.exchanges`, :mod:`repro.failures`),
+* the concrete decision protocols from the literature
+  (:mod:`repro.protocols`),
+* specifications and optimality analyses for Simultaneous and Eventual
+  Byzantine Agreement (:mod:`repro.spec`, :mod:`repro.analysis`),
+* a benchmark harness that regenerates the paper's tables
+  (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro import build_sba_model, synthesize_sba
+
+    model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+    result = synthesize_sba(model)
+    print(result.conditions.describe())
+"""
+
+from repro.version import __version__
+from repro.factory import build_eba_model, build_sba_model
+from repro.core.synthesis import synthesize_eba, synthesize_sba
+from repro.core.checker import ModelChecker
+from repro.systems.model import BAModel
+from repro.systems.space import build_space
+
+__all__ = [
+    "__version__",
+    "build_sba_model",
+    "build_eba_model",
+    "synthesize_sba",
+    "synthesize_eba",
+    "ModelChecker",
+    "BAModel",
+    "build_space",
+]

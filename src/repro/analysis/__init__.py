@@ -1,0 +1,29 @@
+"""Analyses of the synthesized conditions against the paper's results.
+
+* :mod:`repro.analysis.conditions` — the closed-form decision conditions the
+  paper derives or hypothesises (conditions (2) and (3), the ``count <= 2``
+  insufficiency, the Diff no-improvement result), expressed as hypotheses
+  over observable features and checked against synthesized condition tables.
+* :mod:`repro.analysis.earliest` — summaries of the earliest times at which
+  the knowledge conditions hold.
+"""
+
+from repro.analysis.conditions import (
+    check_count_le_two_insufficient,
+    check_diff_no_improvement,
+    count_condition_hypothesis,
+    floodset_condition_hypothesis,
+    floodset_critical_time,
+    naive_floodset_hypothesis,
+)
+from repro.analysis.earliest import earliest_decision_summary
+
+__all__ = [
+    "floodset_critical_time",
+    "floodset_condition_hypothesis",
+    "naive_floodset_hypothesis",
+    "count_condition_hypothesis",
+    "check_count_le_two_insufficient",
+    "check_diff_no_improvement",
+    "earliest_decision_summary",
+]

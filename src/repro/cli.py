@@ -1,0 +1,163 @@
+"""Command-line interface for the reproduction experiments.
+
+Examples::
+
+    python -m repro table1 --max-n 4 --timeout 60
+    python -m repro table3 --max-n 3 --timeout 120
+    python -m repro synthesize --exchange floodset --agents 3 --faulty 1
+    python -m repro check --exchange floodset --agents 3 --faulty 2
+
+The table commands print the same row/column structure as the paper's
+Tables 1–3, with ``TO`` entries for cases exceeding the time budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.synthesis import synthesize_eba, synthesize_sba
+from repro.factory import EBA_EXCHANGES, SBA_EXCHANGES, build_eba_model, build_sba_model
+from repro.harness.runner import run_case
+from repro.harness.tables import (
+    ablation_failure_models,
+    ablation_temporal_only,
+    render_table,
+    run_table,
+    table1_spec,
+    table2_spec,
+    table3_spec,
+)
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="wall-clock budget per table cell in seconds (default 60)",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=2_000_000,
+        help="state budget per table cell (default 2,000,000)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="do not print per-cell progress"
+    )
+
+
+def _table_command(args: argparse.Namespace) -> int:
+    if args.command == "table1":
+        spec = table1_spec(max_n=args.max_n)
+    elif args.command == "table2":
+        spec = table2_spec(max_n=args.max_n)
+    elif args.command == "table3":
+        spec = table3_spec(max_n=args.max_n)
+    elif args.command == "ablation-temporal":
+        spec = ablation_temporal_only(max_n=args.max_n)
+    elif args.command == "ablation-failures":
+        spec = ablation_failure_models(max_n=args.max_n)
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(args.command)
+    result = run_table(
+        spec,
+        timeout=args.timeout,
+        max_states=args.max_states,
+        verbose=not args.quiet,
+    )
+    print(render_table(result))
+    return 0
+
+
+def _synthesize_command(args: argparse.Namespace) -> int:
+    if args.exchange in SBA_EXCHANGES:
+        model = build_sba_model(
+            args.exchange, num_agents=args.agents, max_faulty=args.faulty,
+            num_values=args.values, failures=args.failures,
+        )
+        result = synthesize_sba(model)
+        print(f"Synthesized SBA conditions for {args.exchange} "
+              f"(n={args.agents}, t={args.faulty}, {args.failures} failures):")
+        print(result.conditions.describe())
+    elif args.exchange in EBA_EXCHANGES:
+        model = build_eba_model(
+            args.exchange, num_agents=args.agents, max_faulty=args.faulty,
+            failures=args.failures if args.failures != "crash" else "crash",
+        )
+        result = synthesize_eba(model)
+        print(f"Synthesized EBA conditions for {args.exchange} "
+              f"(n={args.agents}, t={args.faulty}, {args.failures} failures, "
+              f"{result.iterations} iterations, converged={result.converged}):")
+        print(result.conditions.describe())
+    else:
+        print(f"unknown exchange {args.exchange!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _check_command(args: argparse.Namespace) -> int:
+    task = "eba-model-check" if args.exchange in EBA_EXCHANGES else "sba-model-check"
+    params = {
+        "exchange": args.exchange,
+        "num_agents": args.agents,
+        "max_faulty": args.faulty,
+        "failures": args.failures,
+    }
+    if task == "sba-model-check":
+        params["num_values"] = args.values
+        params["optimal_protocol"] = args.optimal
+    outcome = run_case(task, params, timeout=args.timeout)
+    print(f"result: {outcome.cell()}")
+    if outcome.result is not None:
+        for key, value in outcome.result.items():
+            print(f"  {key}: {value}")
+    if outcome.error:
+        print(outcome.error, file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Epistemic model checking and synthesis for consensus protocols",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table1", "table2", "table3", "ablation-temporal", "ablation-failures"):
+        sub = subparsers.add_parser(table, help=f"run the {table} experiment grid")
+        sub.add_argument("--max-n", type=int, default=4, help="largest number of agents")
+        _add_budget_arguments(sub)
+        sub.set_defaults(func=_table_command)
+
+    synth = subparsers.add_parser("synthesize", help="synthesize one configuration")
+    synth.add_argument("--exchange", required=True)
+    synth.add_argument("--agents", type=int, required=True)
+    synth.add_argument("--faulty", type=int, required=True)
+    synth.add_argument("--values", type=int, default=2)
+    synth.add_argument("--failures", default="crash")
+    synth.set_defaults(func=_synthesize_command)
+
+    check = subparsers.add_parser("check", help="model check one configuration")
+    check.add_argument("--exchange", required=True)
+    check.add_argument("--agents", type=int, required=True)
+    check.add_argument("--faulty", type=int, required=True)
+    check.add_argument("--values", type=int, default=2)
+    check.add_argument("--failures", default="crash")
+    check.add_argument("--optimal", action="store_true",
+                       help="check the optimal (revised) literature protocol")
+    check.add_argument("--timeout", type=float, default=600.0)
+    check.set_defaults(func=_check_command)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

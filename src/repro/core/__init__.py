@@ -1,0 +1,37 @@
+"""The paper's primary contribution, reimplemented.
+
+This subpackage contains the epistemic model checker and the
+knowledge-based-program synthesizer that play the role of MCK in the paper:
+
+* :mod:`repro.core.checker` — model checking of knowledge, common belief
+  (greatest fixpoints) and bounded CTL temporal operators over levelled state
+  spaces, under the clock semantics of knowledge.
+* :mod:`repro.core.synthesis` — synthesis of the unique clock-semantics
+  implementation of the knowledge-based programs for SBA and EBA.
+* :mod:`repro.core.predicates` — synthesized conditions as sets of
+  observations, comparison against hypothesised closed-form conditions, and
+  rendering as minimised boolean formulas.
+* :mod:`repro.core.minimize` — Quine–McCluskey two-level minimisation.
+* :mod:`repro.core.bdd` — a from-scratch reduced ordered BDD package.
+* :mod:`repro.core.symbolic` — BDD-encoded reachability (ablation).
+"""
+
+from repro.core.checker import ModelChecker, SatSet
+from repro.core.synthesis import (
+    EBASynthesisResult,
+    SBASynthesisResult,
+    synthesize_eba,
+    synthesize_sba,
+)
+from repro.core.predicates import ConditionTable, ObservationPredicate
+
+__all__ = [
+    "ModelChecker",
+    "SatSet",
+    "SBASynthesisResult",
+    "EBASynthesisResult",
+    "synthesize_sba",
+    "synthesize_eba",
+    "ConditionTable",
+    "ObservationPredicate",
+]

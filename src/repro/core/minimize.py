@@ -1,0 +1,204 @@
+"""Two-level minimisation of boolean functions (Quine–McCluskey).
+
+The synthesizer produces decision conditions as sets of observations.  To
+present them the way MCK presents its synthesized ``define`` statements (and
+the way the paper states conditions (2) and (3)), we minimise the
+characteristic function of the condition over the observation features.
+
+The implementation is the classic Quine–McCluskey procedure with a greedy
+prime-implicant cover (essential primes first, then largest coverage).  It is
+exact in the sense that the returned implicants cover exactly the on-set and
+never a point of the off-set; the cover is not guaranteed to be of globally
+minimal size, which is acceptable for presentation purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: An implicant over ``k`` boolean variables: a tuple with one entry per
+#: variable, each ``True`` (positive literal), ``False`` (negative literal) or
+#: ``None`` (don't care / variable eliminated).
+Implicant = Tuple[Optional[bool], ...]
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A minimised sum-of-products cover of a boolean function."""
+
+    num_variables: int
+    implicants: Tuple[Implicant, ...]
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the cover on a full variable assignment."""
+        return any(_implicant_matches(implicant, assignment) for implicant in self.implicants)
+
+    def render(self, names: Sequence[str]) -> str:
+        """Render as a human-readable DNF using the given variable names."""
+        if not self.implicants:
+            return "False"
+        terms = []
+        for implicant in self.implicants:
+            literals = []
+            for position, polarity in enumerate(implicant):
+                if polarity is None:
+                    continue
+                literal = names[position] if polarity else f"~{names[position]}"
+                literals.append(literal)
+            terms.append(" & ".join(literals) if literals else "True")
+        return " | ".join(terms)
+
+
+def _implicant_matches(implicant: Implicant, assignment: Sequence[bool]) -> bool:
+    return all(
+        polarity is None or bool(assignment[position]) == polarity
+        for position, polarity in enumerate(implicant)
+    )
+
+
+def _minterm_to_implicant(minterm: int, num_variables: int) -> Implicant:
+    return tuple(
+        bool((minterm >> (num_variables - 1 - position)) & 1)
+        for position in range(num_variables)
+    )
+
+
+def _combine(left: Implicant, right: Implicant) -> Optional[Implicant]:
+    """Combine two implicants differing in exactly one specified position."""
+    difference = -1
+    for position, (a, b) in enumerate(zip(left, right)):
+        if a == b:
+            continue
+        if a is None or b is None:
+            return None
+        if difference >= 0:
+            return None
+        difference = position
+    if difference < 0:
+        return None
+    merged = list(left)
+    merged[difference] = None
+    return tuple(merged)
+
+
+def prime_implicants(
+    num_variables: int, minterms: Iterable[int], dont_cares: Iterable[int] = ()
+) -> Set[Implicant]:
+    """All prime implicants of the function given by its on-set and DC-set."""
+    current: Set[Implicant] = {
+        _minterm_to_implicant(term, num_variables)
+        for term in set(minterms) | set(dont_cares)
+    }
+    primes: Set[Implicant] = set()
+    while current:
+        combined_sources: Set[Implicant] = set()
+        next_level: Set[Implicant] = set()
+        items = sorted(current, key=_implicant_sort_key)
+        for index, left in enumerate(items):
+            for right in items[index + 1 :]:
+                merged = _combine(left, right)
+                if merged is not None:
+                    next_level.add(merged)
+                    combined_sources.add(left)
+                    combined_sources.add(right)
+        primes.update(current - combined_sources)
+        current = next_level
+    return primes
+
+
+def _implicant_sort_key(implicant: Implicant) -> Tuple:
+    return tuple(2 if value is None else int(value) for value in implicant)
+
+
+def minimise(
+    num_variables: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
+) -> Cover:
+    """Minimise a boolean function given by minterm indices.
+
+    Minterm ``m`` assigns variable ``j`` the value of bit
+    ``num_variables - 1 - j`` of ``m`` (variable 0 is the most significant
+    bit), matching the usual truth-table convention.
+    """
+    on_set = sorted(set(minterms))
+    dc_set = set(dont_cares) - set(on_set)
+    if not on_set:
+        return Cover(num_variables=num_variables, implicants=())
+    if num_variables == 0:
+        return Cover(num_variables=0, implicants=((),))
+
+    primes = prime_implicants(num_variables, on_set, dc_set)
+
+    coverage: Dict[Implicant, FrozenSet[int]] = {}
+    for prime in primes:
+        covered = frozenset(
+            term
+            for term in on_set
+            if _implicant_matches(prime, _minterm_to_implicant(term, num_variables))
+        )
+        if covered:
+            coverage[prime] = covered
+
+    chosen: List[Implicant] = []
+    uncovered: Set[int] = set(on_set)
+
+    # Essential prime implicants first.
+    for term in on_set:
+        covering = [prime for prime, covered in coverage.items() if term in covered]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+            uncovered -= coverage[covering[0]]
+
+    # Greedy cover for the rest.
+    while uncovered:
+        best = max(
+            coverage.items(),
+            key=lambda item: (len(item[1] & uncovered), -_specificity(item[0])),
+        )[0]
+        if not coverage[best] & uncovered:
+            # No progress is possible; should not happen, but guard anyway.
+            break
+        chosen.append(best)
+        uncovered -= coverage[best]
+
+    ordered = tuple(sorted(set(chosen), key=_implicant_sort_key))
+    return Cover(num_variables=num_variables, implicants=ordered)
+
+
+def _specificity(implicant: Implicant) -> int:
+    return sum(1 for value in implicant if value is not None)
+
+
+def truth_table_minimise(
+    assignments: Dict[Tuple[bool, ...], bool],
+    reachable_only: bool = True,
+) -> Cover:
+    """Minimise a function given as a mapping from assignments to values.
+
+    Assignments missing from the mapping are treated as don't-cares when
+    ``reachable_only`` is true (the usual case: unreachable observations may
+    be classified arbitrarily), and as off-set points otherwise.
+    """
+    if not assignments:
+        return Cover(num_variables=0, implicants=())
+    num_variables = len(next(iter(assignments)))
+    minterms = []
+    specified = set()
+    for assignment, value in assignments.items():
+        index = _assignment_to_index(assignment)
+        specified.add(index)
+        if value:
+            minterms.append(index)
+    dont_cares: Set[int] = set()
+    if reachable_only:
+        dont_cares = set(range(2 ** num_variables)) - specified
+    return minimise(num_variables, minterms, dont_cares)
+
+
+def _assignment_to_index(assignment: Sequence[bool]) -> int:
+    index = 0
+    for value in assignment:
+        index = (index << 1) | int(bool(value))
+    return index

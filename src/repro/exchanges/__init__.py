@@ -1,0 +1,69 @@
+"""Information-exchange protocols studied in the paper.
+
+For the Simultaneous Byzantine Agreement (SBA) problem, Section 7:
+
+* :class:`~repro.exchanges.floodset.FloodSetExchange` — Lynch's FloodSet:
+  each agent broadcasts the set of values it has seen.
+* :class:`~repro.exchanges.count_floodset.CountFloodSetExchange` — FloodSet
+  plus a count of the messages received in the most recent round
+  (Castañeda et al.).
+* :class:`~repro.exchanges.diff_floodset.DiffFloodSetExchange` — FloodSet
+  plus the current and previous round's counts.
+* :class:`~repro.exchanges.dwork_moses.DworkMosesExchange` — the variables of
+  the Dwork–Moses protocol derived from the full-information analysis of
+  common knowledge (failure sets, ``exists0`` and the waste estimate).
+
+For the Eventual Byzantine Agreement (EBA) problem, Section 9:
+
+* :class:`~repro.exchanges.eba_min.EMinExchange` — agents broadcast only the
+  value they have just decided.
+* :class:`~repro.exchanges.eba_basic.EBasicExchange` — additionally, agents
+  with initial value 1 broadcast ``(init, 1)`` and everyone counts those
+  messages (``num1``), enabling an early decision on 1.
+"""
+
+from repro.exchanges.floodset import FloodSetExchange, FloodSetLocal
+from repro.exchanges.count_floodset import CountFloodSetExchange, CountFloodSetLocal
+from repro.exchanges.diff_floodset import DiffFloodSetExchange, DiffFloodSetLocal
+from repro.exchanges.dwork_moses import DworkMosesExchange, DworkMosesLocal
+from repro.exchanges.eba_min import EMinExchange, EMinLocal
+from repro.exchanges.eba_basic import EBasicExchange, EBasicLocal
+
+__all__ = [
+    "FloodSetExchange",
+    "FloodSetLocal",
+    "CountFloodSetExchange",
+    "CountFloodSetLocal",
+    "DiffFloodSetExchange",
+    "DiffFloodSetLocal",
+    "DworkMosesExchange",
+    "DworkMosesLocal",
+    "EMinExchange",
+    "EMinLocal",
+    "EBasicExchange",
+    "EBasicLocal",
+    "exchange_by_name",
+]
+
+
+def exchange_by_name(name: str, num_agents: int, num_values: int, max_faulty: int):
+    """Construct an information exchange from its short name.
+
+    Recognised names: ``floodset``, ``count``, ``diff``, ``dwork-moses``,
+    ``emin``, ``ebasic``.
+    """
+    registry = {
+        "floodset": FloodSetExchange,
+        "count": CountFloodSetExchange,
+        "diff": DiffFloodSetExchange,
+        "dwork-moses": DworkMosesExchange,
+        "emin": EMinExchange,
+        "ebasic": EBasicExchange,
+    }
+    try:
+        factory = registry[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown exchange {name!r}; expected one of {sorted(registry)}"
+        ) from exc
+    return factory(num_agents, num_values, max_faulty)

@@ -1,0 +1,76 @@
+"""FloodSet with a count of messages received in the most recent round.
+
+This is the first of the Castañeda-et-al. variants considered in Section 7.2
+of the paper.  The messages are the same as in FloodSet, but each agent also
+maintains a variable ``count`` holding the number of agents from which it
+received a message in the most recent round.  An agent is treated as sending
+itself a message in every round, so ``count >= 1`` whenever the agent has not
+crashed.
+
+The count provides extra knowledge: ``count <= 1`` implies every other agent
+has crashed, in which case common knowledge among the nonfaulty agents
+degenerates to the agent's own knowledge and an early decision is safe (the
+paper's condition (3)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.exchanges.floodset import merge_seen
+from repro.systems.actions import Action
+from repro.systems.exchange import InformationExchange
+
+
+class CountFloodSetLocal(NamedTuple):
+    """Local state of a Count-FloodSet agent."""
+
+    init: int
+    decided: bool
+    decision: Optional[int]
+    seen: Tuple[bool, ...]
+    count: int
+
+
+class CountFloodSetExchange(InformationExchange):
+    """FloodSet plus the number of messages received in the last round."""
+
+    name = "count"
+
+    def initial_local(self, agent: int, init_value: int) -> CountFloodSetLocal:
+        seen = tuple(value == init_value for value in self.values())
+        return CountFloodSetLocal(
+            init=init_value,
+            decided=False,
+            decision=None,
+            seen=seen,
+            count=self.num_agents,
+        )
+
+    def message(
+        self, agent: int, local: CountFloodSetLocal, action: Action, time: int
+    ) -> Optional[Hashable]:
+        return local.seen
+
+    def update(
+        self,
+        agent: int,
+        local: CountFloodSetLocal,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> CountFloodSetLocal:
+        seen = merge_seen(local.seen, received.values())
+        return local._replace(seen=seen, count=len(received))
+
+    def observation(self, agent: int, local: CountFloodSetLocal) -> Tuple:
+        return (local.seen, local.count)
+
+    def observation_features(
+        self, agent: int, local: CountFloodSetLocal
+    ) -> Dict[str, Hashable]:
+        features: Dict[str, Hashable] = {
+            f"values_received[{value}]": local.seen[value] for value in self.values()
+        }
+        features["count"] = local.count
+        return features

@@ -1,0 +1,76 @@
+"""FloodSet with the current and previous message counts (the Diff protocol).
+
+The second Castañeda-et-al. variant (Section 7.3 of the paper): in addition to
+the count of messages received in the most recent round, each agent remembers
+the previous value of that count.  For Eventual Byzantine Agreement the
+difference between the two counts enables earlier decisions; the paper's model
+checking experiments show that for *Simultaneous* BA it does not improve on
+the single-count exchange — a result this reproduction re-derives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.exchanges.floodset import merge_seen
+from repro.systems.actions import Action
+from repro.systems.exchange import InformationExchange
+
+
+class DiffFloodSetLocal(NamedTuple):
+    """Local state of a Diff agent."""
+
+    init: int
+    decided: bool
+    decision: Optional[int]
+    seen: Tuple[bool, ...]
+    count: int
+    prev_count: int
+
+
+class DiffFloodSetExchange(InformationExchange):
+    """FloodSet plus the counts of the last two rounds."""
+
+    name = "diff"
+
+    def initial_local(self, agent: int, init_value: int) -> DiffFloodSetLocal:
+        seen = tuple(value == init_value for value in self.values())
+        return DiffFloodSetLocal(
+            init=init_value,
+            decided=False,
+            decision=None,
+            seen=seen,
+            count=self.num_agents,
+            prev_count=self.num_agents,
+        )
+
+    def message(
+        self, agent: int, local: DiffFloodSetLocal, action: Action, time: int
+    ) -> Optional[Hashable]:
+        return local.seen
+
+    def update(
+        self,
+        agent: int,
+        local: DiffFloodSetLocal,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> DiffFloodSetLocal:
+        seen = merge_seen(local.seen, received.values())
+        return local._replace(
+            seen=seen, count=len(received), prev_count=local.count
+        )
+
+    def observation(self, agent: int, local: DiffFloodSetLocal) -> Tuple:
+        return (local.seen, local.count, local.prev_count)
+
+    def observation_features(
+        self, agent: int, local: DiffFloodSetLocal
+    ) -> Dict[str, Hashable]:
+        features: Dict[str, Hashable] = {
+            f"values_received[{value}]": local.seen[value] for value in self.values()
+        }
+        features["count"] = local.count
+        features["prev_count"] = local.prev_count
+        return features

@@ -1,0 +1,114 @@
+"""The Dwork–Moses information exchange (Section 7.4 of the paper).
+
+The Dwork–Moses protocol is derived from an analysis of common knowledge in
+the full-information protocol for the crash failures model.  The derived
+protocol does not keep full-information state; it maintains only:
+
+* ``exists0`` — whether the agent is aware of some agent with initial value 0,
+* ``known_faulty`` (the paper's ``F ∪ RF``) — the set of agents the agent
+  knows to be faulty, either by failing to receive a message from them
+  (``F``) or by hearing about them from others (``RF``),
+* ``newly_faulty`` (``NF``) — the agents newly discovered faulty in the last
+  round, which is what the agent broadcasts,
+* ``waste`` — the agent's estimate of the number of *wasted* failures, where
+  a failure is wasted if it was not needed to delay a clean round.  The
+  estimate is ``max_k (d_k - k)`` over the rounds ``k`` executed so far, with
+  ``d_k`` the number of agents known faulty by the end of round ``k``.
+
+In every round the agent broadcasts the pair ``(NF, exists0)``.  The derived
+decision rule (see :class:`repro.protocols.dwork_moses.DworkMosesProtocol`)
+decides as soon as ``time >= t + 1 - waste``, the point at which the existence
+of a clean round has become common knowledge.
+
+The exchange is defined for the binary value domain ``V = {0, 1}``, as in the
+original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.systems.actions import Action
+from repro.systems.exchange import InformationExchange
+
+
+class DworkMosesLocal(NamedTuple):
+    """Local state of a Dwork–Moses agent."""
+
+    init: int
+    decided: bool
+    decision: Optional[int]
+    exists0: bool
+    known_faulty: FrozenSet[int]
+    newly_faulty: FrozenSet[int]
+    waste: int
+
+
+class DworkMosesExchange(InformationExchange):
+    """Broadcast ``(NF, exists0)``; track known-faulty sets and the waste."""
+
+    name = "dwork-moses"
+
+    def __init__(self, num_agents: int, num_values: int, max_faulty: int) -> None:
+        if num_values != 2:
+            raise ValueError("the Dwork-Moses protocol is defined for V = {0, 1}")
+        super().__init__(num_agents, num_values, max_faulty)
+
+    def initial_local(self, agent: int, init_value: int) -> DworkMosesLocal:
+        return DworkMosesLocal(
+            init=init_value,
+            decided=False,
+            decision=None,
+            exists0=(init_value == 0),
+            known_faulty=frozenset(),
+            newly_faulty=frozenset(),
+            waste=0,
+        )
+
+    def message(
+        self, agent: int, local: DworkMosesLocal, action: Action, time: int
+    ) -> Optional[Hashable]:
+        return (local.newly_faulty, local.exists0)
+
+    def update(
+        self,
+        agent: int,
+        local: DworkMosesLocal,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> DworkMosesLocal:
+        exists0 = local.exists0 or any(flag for _, flag in received.values())
+
+        silent = frozenset(
+            other for other in range(self.num_agents) if other not in received
+        )
+        reported: FrozenSet[int] = frozenset()
+        for newly, _ in received.values():
+            reported |= newly
+
+        known = local.known_faulty | silent | reported
+        newly_faulty = known - local.known_faulty
+        round_number = time + 1
+        waste = max(local.waste, len(known) - round_number)
+
+        return local._replace(
+            exists0=exists0,
+            known_faulty=known,
+            newly_faulty=newly_faulty,
+            waste=waste,
+        )
+
+    def observation(self, agent: int, local: DworkMosesLocal) -> Tuple:
+        return (local.exists0, local.known_faulty, local.newly_faulty, local.waste)
+
+    def observation_features(
+        self, agent: int, local: DworkMosesLocal
+    ) -> Dict[str, Hashable]:
+        return {
+            "exists0": local.exists0,
+            "known_faulty": local.known_faulty,
+            "newly_faulty": local.newly_faulty,
+            "num_known_faulty": len(local.known_faulty),
+            "waste": local.waste,
+        }

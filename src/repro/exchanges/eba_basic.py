@@ -1,0 +1,85 @@
+"""The ``E_basic`` information exchange for Eventual Byzantine Agreement.
+
+From Section 9.2 of the paper: ``E_basic`` extends ``E_min`` with a counter
+``num1``.  An agent that decides broadcasts its decision value; an undecided
+agent with initial value 1 broadcasts ``(init, 1)``; an undecided agent with
+initial value 0 sends nothing.  Each round ``num1`` is set to the number of
+``(init, 1)`` messages received in that round, and ``jd`` records a decision
+value heard in that round (as in ``E_min``).
+
+The counter enables the early decision on 1: once ``num1 > n - time`` the
+agent knows that no agent will ever decide 0 (there are not enough silent
+agents left to hide an initial 0), which is the knowledge condition of the
+paper's program ``P0`` for deciding 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.exchanges.eba_min import just_decided_value
+from repro.systems.actions import Action, NOOP
+from repro.systems.exchange import InformationExchange
+
+
+class EBasicLocal(NamedTuple):
+    """Local state of an ``E_basic`` agent."""
+
+    init: int
+    decided: bool
+    decision: Optional[int]
+    jd: Optional[int]
+    num1: int
+
+
+class EBasicExchange(InformationExchange):
+    """``E_min`` plus a count of ``(init, 1)`` messages received last round."""
+
+    name = "ebasic"
+
+    def __init__(self, num_agents: int, num_values: int, max_faulty: int) -> None:
+        if num_values != 2:
+            raise ValueError("the EBA exchanges are defined for V = {0, 1}")
+        super().__init__(num_agents, num_values, max_faulty)
+
+    def initial_local(self, agent: int, init_value: int) -> EBasicLocal:
+        return EBasicLocal(
+            init=init_value, decided=False, decision=None, jd=None, num1=0
+        )
+
+    def message(
+        self, agent: int, local: EBasicLocal, action: Action, time: int
+    ) -> Optional[Hashable]:
+        if action is not NOOP:
+            return ("decide", action)
+        if not local.decided and local.init == 1:
+            return ("init", 1)
+        return None
+
+    def update(
+        self,
+        agent: int,
+        local: EBasicLocal,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> EBasicLocal:
+        jd = just_decided_value(received.values())
+        num1 = sum(
+            1
+            for message in received.values()
+            if isinstance(message, tuple) and message and message[0] == "init"
+        )
+        return local._replace(jd=jd, num1=num1)
+
+    def observation(self, agent: int, local: EBasicLocal) -> Tuple:
+        return (local.init, local.decided, local.decision, local.jd, local.num1)
+
+    def observation_features(self, agent: int, local: EBasicLocal) -> Dict[str, Hashable]:
+        return {
+            "init": local.init,
+            "decided": local.decided,
+            "decision": local.decision,
+            "jd": local.jd,
+            "num1": local.num1,
+        }

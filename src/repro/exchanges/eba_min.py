@@ -1,0 +1,92 @@
+"""The ``E_min`` information exchange for Eventual Byzantine Agreement.
+
+From Section 9.1 of the paper (and Alpturer, Halpern & van der Meyden,
+PODC'23): agent ``i``'s local state is ``<time, init, decided, jd>`` where
+``jd`` records a value that the agent has heard some agent *just decided*
+(or ``None`` for the paper's ``⊥``).
+
+When an agent decides a value ``v`` it broadcasts just ``v``; otherwise it
+sends nothing.  On reception, ``jd`` is set to 0 if some received message is
+0, else to 1 if some received message is 1, else to ``None``.
+
+The exchange satisfies the side conditions of the paper's knowledge-based
+program ``P0``, so implementations of ``P0`` with respect to ``E_min`` are
+optimal EBA protocols for this exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.systems.actions import Action, NOOP
+from repro.systems.exchange import InformationExchange
+
+
+class EMinLocal(NamedTuple):
+    """Local state of an ``E_min`` agent."""
+
+    init: int
+    decided: bool
+    decision: Optional[int]
+    jd: Optional[int]
+
+
+class EMinExchange(InformationExchange):
+    """Agents broadcast only the value they have just decided."""
+
+    name = "emin"
+
+    def __init__(self, num_agents: int, num_values: int, max_faulty: int) -> None:
+        if num_values != 2:
+            raise ValueError("the EBA exchanges are defined for V = {0, 1}")
+        super().__init__(num_agents, num_values, max_faulty)
+
+    def initial_local(self, agent: int, init_value: int) -> EMinLocal:
+        return EMinLocal(init=init_value, decided=False, decision=None, jd=None)
+
+    def message(
+        self, agent: int, local: EMinLocal, action: Action, time: int
+    ) -> Optional[Hashable]:
+        if action is not NOOP:
+            return ("decide", action)
+        return None
+
+    def update(
+        self,
+        agent: int,
+        local: EMinLocal,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> EMinLocal:
+        jd = just_decided_value(received.values())
+        return local._replace(jd=jd)
+
+    def observation(self, agent: int, local: EMinLocal) -> Tuple:
+        return (local.init, local.decided, local.decision, local.jd)
+
+    def observation_features(self, agent: int, local: EMinLocal) -> Dict[str, Hashable]:
+        return {
+            "init": local.init,
+            "decided": local.decided,
+            "decision": local.decision,
+            "jd": local.jd,
+        }
+
+
+def just_decided_value(messages) -> Optional[int]:
+    """The value recorded in ``jd`` from a round's received messages.
+
+    Zero takes precedence over one; if no decision message was received the
+    result is ``None`` (the paper's ``⊥``).
+    """
+    values = {
+        message[1]
+        for message in messages
+        if isinstance(message, tuple) and message and message[0] == "decide"
+    }
+    if 0 in values:
+        return 0
+    if 1 in values:
+        return 1
+    return None

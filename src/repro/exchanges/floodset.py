@@ -1,0 +1,71 @@
+"""The FloodSet information exchange (Lynch, *Distributed Algorithms* 6.2.1).
+
+Each agent maintains the set of decision values it has seen so far, starting
+with its own initial preference.  In every round every non-crashed agent
+broadcasts its set, and each agent unions the sets it receives into its own.
+
+The local state mirrors the MCK model in the paper's appendix: an array
+``w : V -> Bool`` of seen values (here a tuple of booleans) plus the implicit
+time.  The observation consists of the seen array — exactly the variables
+declared ``observable`` in the script (``values_received``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.systems.actions import Action
+from repro.systems.exchange import InformationExchange
+
+
+class FloodSetLocal(NamedTuple):
+    """Local state of a FloodSet agent."""
+
+    init: int
+    decided: bool
+    decision: Optional[int]
+    seen: Tuple[bool, ...]
+
+
+class FloodSetExchange(InformationExchange):
+    """FloodSet: broadcast the set of values seen so far."""
+
+    name = "floodset"
+
+    def initial_local(self, agent: int, init_value: int) -> FloodSetLocal:
+        seen = tuple(value == init_value for value in self.values())
+        return FloodSetLocal(init=init_value, decided=False, decision=None, seen=seen)
+
+    def message(
+        self, agent: int, local: FloodSetLocal, action: Action, time: int
+    ) -> Optional[Hashable]:
+        return local.seen
+
+    def update(
+        self,
+        agent: int,
+        local: FloodSetLocal,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> FloodSetLocal:
+        seen = merge_seen(local.seen, received.values())
+        return local._replace(seen=seen)
+
+    def observation(self, agent: int, local: FloodSetLocal) -> Tuple:
+        return (local.seen,)
+
+    def observation_features(self, agent: int, local: FloodSetLocal) -> Dict[str, Hashable]:
+        return {
+            f"values_received[{value}]": local.seen[value] for value in self.values()
+        }
+
+
+def merge_seen(seen: Tuple[bool, ...], messages) -> Tuple[bool, ...]:
+    """Union a seen-values array with the arrays carried by received messages."""
+    merged = list(seen)
+    for message in messages:
+        for value, flag in enumerate(message):
+            if flag:
+                merged[value] = True
+    return tuple(merged)

@@ -1,0 +1,53 @@
+"""Convenience constructors for the models studied in the paper."""
+
+from __future__ import annotations
+
+from repro.exchanges import exchange_by_name
+from repro.failures import failure_model_by_name
+from repro.systems.model import BAModel
+
+#: Exchanges usable for the Simultaneous Byzantine Agreement experiments.
+SBA_EXCHANGES = ("floodset", "count", "diff", "dwork-moses")
+#: Exchanges usable for the Eventual Byzantine Agreement experiments.
+EBA_EXCHANGES = ("emin", "ebasic")
+
+
+def build_sba_model(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    num_values: int = 2,
+    failures: str = "crash",
+) -> BAModel:
+    """Build an SBA model for a named exchange and failure model.
+
+    Parameters mirror the paper's experiments: ``exchange`` is one of
+    ``floodset``, ``count``, ``diff`` or ``dwork-moses``; ``failures`` is one
+    of ``crash``, ``sending``, ``receiving`` or ``general``; the number of
+    decision values defaults to 2 as in Tables 1 and 2.
+    """
+    if exchange not in SBA_EXCHANGES:
+        raise ValueError(f"{exchange!r} is not an SBA exchange (expected one of {SBA_EXCHANGES})")
+    exchange_obj = exchange_by_name(exchange, num_agents, num_values, max_faulty)
+    failures_obj = failure_model_by_name(failures, num_agents, max_faulty)
+    return BAModel(exchange_obj, failures_obj)
+
+
+def build_eba_model(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    failures: str = "sending",
+) -> BAModel:
+    """Build an EBA model for a named exchange and failure model.
+
+    ``exchange`` is ``emin`` or ``ebasic``; the value domain is fixed to
+    ``{0, 1}`` as in the paper.  The optimality result for ``P0`` applies to
+    the sending-omissions model (which subsumes crash failures), so that is
+    the default failure model; ``crash`` matches the other half of Table 3.
+    """
+    if exchange not in EBA_EXCHANGES:
+        raise ValueError(f"{exchange!r} is not an EBA exchange (expected one of {EBA_EXCHANGES})")
+    exchange_obj = exchange_by_name(exchange, num_agents, 2, max_faulty)
+    failures_obj = failure_model_by_name(failures, num_agents, max_faulty)
+    return BAModel(exchange_obj, failures_obj)

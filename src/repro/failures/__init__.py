@@ -1,0 +1,58 @@
+"""Failure models.
+
+The paper considers synchronous message passing with at most ``t`` faulty
+agents, under the following failure models (Section 3):
+
+* :class:`~repro.failures.crash.CrashFailures` — a faulty agent crashes in
+  some round, sending an arbitrary subset of that round's messages and
+  nothing afterwards.
+* :class:`~repro.failures.omissions.SendingOmissions` — a faulty agent may
+  omit any of its sends but receives everything.
+* :class:`~repro.failures.omissions.ReceivingOmissions` — a faulty agent may
+  fail to receive any message sent to it.
+* :class:`~repro.failures.omissions.GeneralOmissions` — both of the above.
+
+Each model resolves failures round by round (as the MCK scripts do) via
+:meth:`~repro.failures.base.FailureModel.round_choices` and per-(sender,
+recipient) :meth:`~repro.failures.base.FailureModel.delivery_mode`, and
+defines the indexical nonfaulty set ``N`` used by the knowledge conditions.
+"""
+
+from repro.failures.base import DeliveryMode, FailureModel
+from repro.failures.crash import CrashFailures
+from repro.failures.omissions import (
+    GeneralOmissions,
+    OmissionFailures,
+    ReceivingOmissions,
+    SendingOmissions,
+)
+
+__all__ = [
+    "DeliveryMode",
+    "FailureModel",
+    "CrashFailures",
+    "OmissionFailures",
+    "SendingOmissions",
+    "ReceivingOmissions",
+    "GeneralOmissions",
+]
+
+
+def failure_model_by_name(name: str, num_agents: int, max_faulty: int) -> FailureModel:
+    """Construct a failure model from its short name.
+
+    Recognised names: ``crash``, ``sending``, ``receiving``, ``general``.
+    """
+    registry = {
+        "crash": CrashFailures,
+        "sending": SendingOmissions,
+        "receiving": ReceivingOmissions,
+        "general": GeneralOmissions,
+    }
+    try:
+        factory = registry[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown failure model {name!r}; expected one of {sorted(registry)}"
+        ) from exc
+    return factory(num_agents, max_faulty)

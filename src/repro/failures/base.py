@@ -1,0 +1,113 @@
+"""Abstract interface for failure models.
+
+A failure model plays two roles in the reproduction:
+
+1. **Environment nondeterminism for model checking.**  When building the
+   levelled state space, failures are resolved round by round: the model
+   enumerates the *global* fault choices for a round (for example, which
+   agents newly crash) via :meth:`FailureModel.round_choices`, and then for
+   every (sender, recipient) pair classifies message delivery as certain,
+   impossible or optional via :meth:`FailureModel.delivery_mode`.  Optional
+   deliveries are resolved independently per recipient, which is what allows
+   the state-space builder to enumerate successors as a product of
+   per-recipient outcome sets.
+
+2. **The indexical nonfaulty set.**  The knowledge conditions of the paper
+   quantify over the indexical set ``N`` of nonfaulty agents;
+   :meth:`FailureModel.nonfaulty` defines it per environment state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Hashable, Iterable, Tuple
+
+
+class DeliveryMode(Enum):
+    """Classification of a single (sender, recipient) delivery in a round."""
+
+    #: The message is certainly delivered.
+    ALWAYS = "always"
+    #: The message is certainly not delivered.
+    NEVER = "never"
+    #: The adversary may or may not deliver the message.
+    OPTIONAL = "optional"
+
+
+class FailureModel(ABC):
+    """Abstract base class for failure models.
+
+    Parameters
+    ----------
+    num_agents:
+        The number of agents ``n``.
+    max_faulty:
+        The failure bound ``t`` (maximum number of faulty agents).
+    """
+
+    #: Short name used in tables and benchmark output.
+    name: str = "failure"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        if num_agents < 1:
+            raise ValueError("num_agents must be at least 1")
+        if max_faulty < 0 or max_faulty > num_agents:
+            raise ValueError("max_faulty must be between 0 and num_agents")
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+
+    # -- environment states ---------------------------------------------------
+
+    @abstractmethod
+    def initial_env_states(self) -> Iterable[Hashable]:
+        """All possible initial environment states (e.g. choices of faulty sets)."""
+
+    @abstractmethod
+    def round_choices(self, env: Hashable) -> Iterable[Hashable]:
+        """Global fault choices available to the adversary in one round."""
+
+    @abstractmethod
+    def apply_choice(self, env: Hashable, choice: Hashable) -> Hashable:
+        """The environment state after the round, given the fault choice."""
+
+    # -- message delivery ------------------------------------------------------
+
+    @abstractmethod
+    def delivery_mode(
+        self, env: Hashable, choice: Hashable, sender: int, recipient: int
+    ) -> DeliveryMode:
+        """How delivery from ``sender`` to ``recipient`` is resolved this round."""
+
+    def can_send(self, env: Hashable, choice: Hashable, agent: int) -> bool:
+        """Whether ``agent`` produces any messages this round.
+
+        Crashed agents produce none; by default every agent sends.
+        """
+        return True
+
+    def can_act(self, env: Hashable, agent: int) -> bool:
+        """Whether ``agent`` still executes its decision protocol.
+
+        Crashed agents stop acting; omission-faulty agents keep acting.
+        """
+        return True
+
+    # -- the indexical nonfaulty set ------------------------------------------
+
+    @abstractmethod
+    def nonfaulty(self, env: Hashable, agent: int) -> bool:
+        """Whether ``agent`` belongs to the indexical nonfaulty set ``N``."""
+
+    def nonfaulty_set(self, env: Hashable) -> Tuple[int, ...]:
+        """The tuple of agents in ``N`` at this environment state."""
+        return tuple(
+            agent for agent in range(self.num_agents) if self.nonfaulty(env, agent)
+        )
+
+    def agents(self) -> range:
+        """All agent identifiers ``0 .. n - 1``."""
+        return range(self.num_agents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.num_agents}, t={self.max_faulty})"

@@ -1,0 +1,75 @@
+"""The crash failures model ``Crash(t)``.
+
+A faulty agent crashes during some round: in its crash round it sends an
+arbitrary subset of the messages it was supposed to send, and in later rounds
+it sends nothing.  At most ``t`` agents crash in a run.
+
+Following the MCK script in the paper's appendix, crashes are resolved round
+by round rather than fixed up front: the environment tracks, per agent, a
+status in ``{ALIVE, CRASHED}`` together with the number of crashes so far, and
+in each round the adversary selects a set of currently alive agents that crash
+during that round (keeping the total at most ``t``).  An agent crashing in the
+current round corresponds to the script's ``CRASHING`` status: its messages
+are delivered to an arbitrary subset of the recipients.
+
+The indexical nonfaulty set ``N`` consists of the agents that have not (yet)
+crashed, matching the script's ``status == ALIVE`` condition.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.failures.base import DeliveryMode, FailureModel
+
+#: Environment state: a tuple of per-agent "has crashed" flags.
+CrashEnv = Tuple[bool, ...]
+
+#: Round choice: the set of agents that crash during this round.
+CrashChoice = FrozenSet[int]
+
+
+class CrashFailures(FailureModel):
+    """Crash failures with at most ``t`` crashes, resolved round by round."""
+
+    name = "crash"
+
+    def initial_env_states(self) -> Iterable[CrashEnv]:
+        yield tuple(False for _ in range(self.num_agents))
+
+    def round_choices(self, env: CrashEnv) -> Iterable[CrashChoice]:
+        crashed_so_far = sum(1 for crashed in env if crashed)
+        budget = self.max_faulty - crashed_so_far
+        alive = [agent for agent in self.agents() if not env[agent]]
+        for size in range(0, min(budget, len(alive)) + 1):
+            for subset in combinations(alive, size):
+                yield frozenset(subset)
+
+    def apply_choice(self, env: CrashEnv, choice: CrashChoice) -> CrashEnv:
+        return tuple(env[agent] or agent in choice for agent in self.agents())
+
+    def delivery_mode(
+        self, env: CrashEnv, choice: CrashChoice, sender: int, recipient: int
+    ) -> DeliveryMode:
+        if env[sender]:
+            return DeliveryMode.NEVER
+        if sender in choice:
+            # A crashing agent sends an arbitrary subset of its messages.  Its
+            # message to itself is treated as delivered: the agent is excluded
+            # from the nonfaulty set from the next round onwards, so this
+            # choice does not affect any knowledge condition, and fixing it
+            # keeps the state space smaller.
+            if sender == recipient:
+                return DeliveryMode.ALWAYS
+            return DeliveryMode.OPTIONAL
+        return DeliveryMode.ALWAYS
+
+    def can_send(self, env: CrashEnv, choice: CrashChoice, agent: int) -> bool:
+        return not env[agent]
+
+    def can_act(self, env: CrashEnv, agent: int) -> bool:
+        return not env[agent]
+
+    def nonfaulty(self, env: CrashEnv, agent: int) -> bool:
+        return not env[agent]

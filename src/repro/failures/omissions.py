@@ -1,0 +1,88 @@
+"""Omission failure models.
+
+In the omission models, the set of faulty agents is fixed by the adversary at
+the start of the run (at most ``t`` agents), and faulty agents never stop
+participating; instead, some of the messages they send (sending omissions),
+receive (receiving omissions), or both (general omissions) may be lost.
+
+The environment state is the set of faulty agents; there is no per-round
+fault evolution, so :meth:`round_choices` yields a single trivial choice and
+all the adversary's per-round freedom lives in the optional deliveries.
+
+The indexical nonfaulty set ``N`` is the complement of the faulty set.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable
+
+from repro.failures.base import DeliveryMode, FailureModel
+
+#: Environment state: the (fixed) set of faulty agents.
+OmissionEnv = FrozenSet[int]
+
+
+class OmissionFailures(FailureModel):
+    """Common machinery for the omission failure models."""
+
+    name = "omission"
+
+    def initial_env_states(self) -> Iterable[OmissionEnv]:
+        for size in range(0, self.max_faulty + 1):
+            for subset in combinations(self.agents(), size):
+                yield frozenset(subset)
+
+    def round_choices(self, env: OmissionEnv) -> Iterable[None]:
+        yield None
+
+    def apply_choice(self, env: OmissionEnv, choice: None) -> OmissionEnv:
+        return env
+
+    def nonfaulty(self, env: OmissionEnv, agent: int) -> bool:
+        return agent not in env
+
+
+class SendingOmissions(OmissionFailures):
+    """``Sending-Omissions(t)``: faulty agents may fail to send messages."""
+
+    name = "sending"
+
+    def delivery_mode(
+        self, env: OmissionEnv, choice: None, sender: int, recipient: int
+    ) -> DeliveryMode:
+        if sender == recipient:
+            return DeliveryMode.ALWAYS
+        if sender in env:
+            return DeliveryMode.OPTIONAL
+        return DeliveryMode.ALWAYS
+
+
+class ReceivingOmissions(OmissionFailures):
+    """``Receiving-Omissions(t)``: faulty agents may fail to receive messages."""
+
+    name = "receiving"
+
+    def delivery_mode(
+        self, env: OmissionEnv, choice: None, sender: int, recipient: int
+    ) -> DeliveryMode:
+        if sender == recipient:
+            return DeliveryMode.ALWAYS
+        if recipient in env:
+            return DeliveryMode.OPTIONAL
+        return DeliveryMode.ALWAYS
+
+
+class GeneralOmissions(OmissionFailures):
+    """``General-Omissions(t)``: faulty agents may fail to send or receive."""
+
+    name = "general"
+
+    def delivery_mode(
+        self, env: OmissionEnv, choice: None, sender: int, recipient: int
+    ) -> DeliveryMode:
+        if sender == recipient:
+            return DeliveryMode.ALWAYS
+        if sender in env or recipient in env:
+            return DeliveryMode.OPTIONAL
+        return DeliveryMode.ALWAYS

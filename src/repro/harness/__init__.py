@@ -1,0 +1,38 @@
+"""Benchmark harness.
+
+The harness reproduces the structure of the paper's performance experiments
+(Section 10): each table cell is one model-checking or synthesis task, run in
+a separate process with a wall-clock budget; tasks that exceed the budget (or
+a state budget) are reported as ``TO`` exactly as in the paper's tables.
+
+* :mod:`repro.harness.tasks` — the individual experiment tasks (model check /
+  synthesize one configuration) returning small result summaries.
+* :mod:`repro.harness.runner` — subprocess execution with timeouts.
+* :mod:`repro.harness.tables` — the table definitions (Tables 1–3 plus the
+  ablations) and text rendering.
+"""
+
+from repro.harness.runner import CaseOutcome, run_case
+from repro.harness.tables import (
+    TableSpec,
+    ablation_failure_models,
+    ablation_temporal_only,
+    render_table,
+    run_table,
+    table1_spec,
+    table2_spec,
+    table3_spec,
+)
+
+__all__ = [
+    "CaseOutcome",
+    "run_case",
+    "TableSpec",
+    "render_table",
+    "run_table",
+    "table1_spec",
+    "table2_spec",
+    "table3_spec",
+    "ablation_temporal_only",
+    "ablation_failure_models",
+]

@@ -1,0 +1,120 @@
+"""Run experiment tasks in separate processes with wall-clock budgets.
+
+Each table cell in the paper is one run of MCK with a 10-minute timeout; the
+runner reproduces that protocol: the task is executed in a forked process, and
+if it does not finish within the budget it is terminated and the cell is
+reported as ``TO``.  A state budget (``max_states``) provides an additional
+memory guard that is also reported as ``TO``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.harness.tasks import TASKS
+
+
+@dataclass
+class CaseOutcome:
+    """Outcome of a single experiment case."""
+
+    task: str
+    params: Dict[str, object]
+    seconds: Optional[float]
+    timed_out: bool
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the case completed within its budgets."""
+        return not self.timed_out and self.error is None
+
+    def cell(self) -> str:
+        """The table-cell rendering: ``MmSS.mmm`` as in the paper, or ``TO``."""
+        if self.timed_out:
+            return "TO"
+        if self.error is not None:
+            return "ERR"
+        assert self.seconds is not None
+        minutes = int(self.seconds // 60)
+        seconds = self.seconds - 60 * minutes
+        return f"{minutes}m{seconds:.3f}"
+
+
+def _child(task_name: str, params: Dict[str, object], pipe) -> None:
+    try:
+        func = TASKS[task_name]
+        result = func(**params)
+        pipe.send(("ok", result))
+    except MemoryError:
+        pipe.send(("error", "out of memory"))
+    except Exception:  # pragma: no cover - defensive: report, don't hang
+        pipe.send(("error", traceback.format_exc(limit=5)))
+    finally:
+        pipe.close()
+
+
+def run_case(
+    task: str,
+    params: Dict[str, object],
+    timeout: Optional[float] = None,
+    in_process: bool = False,
+) -> CaseOutcome:
+    """Run one experiment case, optionally with a wall-clock budget.
+
+    ``in_process=True`` skips the fork and runs the task directly (no timeout
+    enforcement); this is what the pytest-benchmark benchmarks use so that the
+    measured time is the task itself rather than process start-up.
+    """
+    if task not in TASKS:
+        raise ValueError(f"unknown task {task!r}; known tasks: {sorted(TASKS)}")
+
+    if in_process or timeout is None:
+        start = time.perf_counter()
+        try:
+            result = TASKS[task](**params)
+        except Exception:
+            return CaseOutcome(
+                task=task,
+                params=params,
+                seconds=None,
+                timed_out=False,
+                error=traceback.format_exc(limit=5),
+            )
+        elapsed = time.perf_counter() - start
+        return CaseOutcome(
+            task=task, params=params, seconds=elapsed, timed_out=False, result=result
+        )
+
+    context = multiprocessing.get_context("fork")
+    parent_pipe, child_pipe = context.Pipe(duplex=False)
+    process = context.Process(target=_child, args=(task, params, child_pipe))
+    start = time.perf_counter()
+    process.start()
+    process.join(timeout)
+    elapsed = time.perf_counter() - start
+
+    if process.is_alive():
+        process.terminate()
+        process.join()
+        return CaseOutcome(task=task, params=params, seconds=None, timed_out=True)
+
+    status, payload = ("error", "worker produced no result")
+    if parent_pipe.poll():
+        status, payload = parent_pipe.recv()
+    if status == "ok":
+        return CaseOutcome(
+            task=task, params=params, seconds=elapsed, timed_out=False, result=payload
+        )
+    # A state-budget violation surfaces as an error; report it as TO since it
+    # plays the same role as the paper's timeout.
+    if isinstance(payload, str) and "SpaceBudgetExceeded" in payload:
+        return CaseOutcome(task=task, params=params, seconds=None, timed_out=True)
+    return CaseOutcome(
+        task=task, params=params, seconds=None, timed_out=False, error=str(payload)
+    )

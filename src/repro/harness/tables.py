@@ -1,0 +1,272 @@
+"""Table definitions and rendering for the paper's performance experiments.
+
+Each :class:`TableSpec` describes one of the paper's tables (or one of our
+ablations) as a list of rows, where every row contains the varied parameters
+and one or more cells; every cell is an experiment task run with a wall-clock
+budget.  :func:`run_table` executes a spec and :func:`render_table` renders
+the outcome in the same row/column structure the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import CaseOutcome, run_case
+
+#: A cell: (column label, task name, task parameters).
+CellSpec = Tuple[str, str, Dict[str, object]]
+
+
+@dataclass
+class TableSpec:
+    """A benchmark table: a title, row labels and per-row cells."""
+
+    name: str
+    title: str
+    row_header: Sequence[str]
+    rows: List[Tuple[Tuple, List[CellSpec]]] = field(default_factory=list)
+
+    def columns(self) -> List[str]:
+        """The distinct column labels, in first-appearance order."""
+        seen: List[str] = []
+        for _, cells in self.rows:
+            for label, _, _ in cells:
+                if label not in seen:
+                    seen.append(label)
+        return seen
+
+
+@dataclass
+class TableResult:
+    """The outcome of running a :class:`TableSpec`."""
+
+    spec: TableSpec
+    outcomes: Dict[Tuple[Tuple, str], CaseOutcome] = field(default_factory=dict)
+
+    def cell(self, row_key: Tuple, column: str) -> str:
+        """The rendered cell for a row key and column label."""
+        outcome = self.outcomes.get((row_key, column))
+        return outcome.cell() if outcome is not None else "-"
+
+
+def run_table(
+    spec: TableSpec,
+    timeout: Optional[float] = 60.0,
+    max_states: Optional[int] = 2_000_000,
+    verbose: bool = False,
+) -> TableResult:
+    """Run every cell of a table spec with the given budgets."""
+    result = TableResult(spec=spec)
+    for row_key, cells in spec.rows:
+        for column, task, params in cells:
+            case_params = dict(params)
+            if max_states is not None and "max_states" not in case_params:
+                case_params["max_states"] = max_states
+            outcome = run_case(task, case_params, timeout=timeout)
+            result.outcomes[(row_key, column)] = outcome
+            if verbose:
+                print(f"  {spec.name} {row_key} {column}: {outcome.cell()}", flush=True)
+    return result
+
+
+def render_table(result: TableResult) -> str:
+    """Render a table result as aligned text (paper-style rows and columns)."""
+    spec = result.spec
+    columns = spec.columns()
+    header = list(spec.row_header) + columns
+    body: List[List[str]] = []
+    for row_key, _ in spec.rows:
+        row = [str(part) for part in row_key]
+        for column in columns:
+            row.append(result.cell(row_key, column))
+        body.append(row)
+
+    widths = [len(name) for name in header]
+    for row in body:
+        for position, value in enumerate(row):
+            widths[position] = max(widths[position], len(value))
+
+    lines = [spec.title]
+    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The paper's tables
+# ---------------------------------------------------------------------------
+
+
+def _nt_grid(max_n: int, min_n: int = 2) -> List[Tuple[int, int]]:
+    """The (n, t) grid used by Table 1: all t from 1 to n, n from 2 up."""
+    grid = []
+    for n in range(min_n, max_n + 1):
+        for t in range(1, n + 1):
+            grid.append((n, t))
+    return grid
+
+
+def table1_spec(max_n: int = 5, include_count: bool = True) -> TableSpec:
+    """Table 1: SBA model checking and synthesis, FloodSet vs Count-FloodSet."""
+    spec = TableSpec(
+        name="table1",
+        title="Table 1: running times for SBA model checking and synthesis "
+        "(crash failures, |V| = 2)",
+        row_header=("n", "t"),
+    )
+    for n, t in _nt_grid(max_n):
+        cells: List[CellSpec] = [
+            (
+                "floodset-mc",
+                "sba-model-check",
+                {"exchange": "floodset", "num_agents": n, "max_faulty": t},
+            ),
+            (
+                "floodset-synth",
+                "sba-synthesis",
+                {"exchange": "floodset", "num_agents": n, "max_faulty": t},
+            ),
+        ]
+        if include_count:
+            cells.extend(
+                [
+                    (
+                        "count-mc",
+                        "sba-model-check",
+                        {"exchange": "count", "num_agents": n, "max_faulty": t},
+                    ),
+                    (
+                        "count-synth",
+                        "sba-synthesis",
+                        {"exchange": "count", "num_agents": n, "max_faulty": t},
+                    ),
+                ]
+            )
+        spec.rows.append(((n, t), cells))
+    return spec
+
+
+def table2_spec(max_n: int = 4) -> TableSpec:
+    """Table 2: SBA model checking for Diff and Dwork–Moses, varying rounds."""
+    spec = TableSpec(
+        name="table2",
+        title="Table 2: running times for SBA model checking, Diff and "
+        "Dwork-Moses protocols (crash failures, |V| = 2)",
+        row_header=("n", "t", "rounds"),
+    )
+    for n in range(2, max_n + 1):
+        for t in range(1, n + 1):
+            for rounds in range(1, t + 2):
+                cells: List[CellSpec] = [
+                    (
+                        "diff-mc",
+                        "sba-model-check",
+                        {
+                            "exchange": "diff",
+                            "num_agents": n,
+                            "max_faulty": t,
+                            "rounds": rounds,
+                        },
+                    ),
+                    (
+                        "dwork-moses-mc",
+                        "sba-model-check",
+                        {
+                            "exchange": "dwork-moses",
+                            "num_agents": n,
+                            "max_faulty": t,
+                            "rounds": rounds,
+                        },
+                    ),
+                ]
+                spec.rows.append(((n, t, rounds), cells))
+    return spec
+
+
+def table3_spec(max_n: int = 4) -> TableSpec:
+    """Table 3: EBA synthesis, E_min and E_basic, crash and sending omissions."""
+    spec = TableSpec(
+        name="table3",
+        title="Table 3: running times for EBA synthesis",
+        row_header=("n", "t"),
+    )
+    for n in range(2, max_n + 1):
+        for t in range(1, n + 1):
+            cells: List[CellSpec] = []
+            for exchange in ("emin", "ebasic"):
+                for failures in ("crash", "sending"):
+                    cells.append(
+                        (
+                            f"{exchange}-{failures}",
+                            "eba-synthesis",
+                            {
+                                "exchange": exchange,
+                                "num_agents": n,
+                                "max_faulty": t,
+                                "failures": failures,
+                            },
+                        )
+                    )
+            spec.rows.append(((n, t), cells))
+    return spec
+
+
+def ablation_temporal_only(max_n: int = 5) -> TableSpec:
+    """Ablation: purely temporal SBA checking scales further (Section 13)."""
+    spec = TableSpec(
+        name="ablation-temporal",
+        title="Ablation: purely temporal SBA specification checking "
+        "(no knowledge operators)",
+        row_header=("exchange", "n", "t"),
+    )
+    for exchange in ("floodset", "dwork-moses"):
+        for n in range(3, max_n + 1):
+            t = n - 1
+            spec.rows.append(
+                (
+                    (exchange, n, t),
+                    [
+                        (
+                            "temporal-mc",
+                            "sba-temporal-only",
+                            {"exchange": exchange, "num_agents": n, "max_faulty": t},
+                        ),
+                        (
+                            "full-mc",
+                            "sba-model-check",
+                            {"exchange": exchange, "num_agents": n, "max_faulty": t},
+                        ),
+                    ],
+                )
+            )
+    return spec
+
+
+def ablation_failure_models(max_n: int = 3) -> TableSpec:
+    """Ablation: receiving and general omissions behave like sending omissions."""
+    spec = TableSpec(
+        name="ablation-failures",
+        title="Ablation: EBA synthesis under other omission failure models",
+        row_header=("n", "t"),
+    )
+    for n in range(2, max_n + 1):
+        for t in range(1, n + 1):
+            cells: List[CellSpec] = []
+            for failures in ("sending", "receiving", "general"):
+                cells.append(
+                    (
+                        f"emin-{failures}",
+                        "eba-synthesis",
+                        {
+                            "exchange": "emin",
+                            "num_agents": n,
+                            "max_faulty": t,
+                            "failures": failures,
+                        },
+                    )
+                )
+            spec.rows.append(((n, t), cells))
+    return spec

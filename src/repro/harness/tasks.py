@@ -1,0 +1,231 @@
+"""Experiment tasks: the work behind each table cell.
+
+Every task is a module-level function taking plain keyword arguments and
+returning a small JSON-like dictionary, so it can be executed in a separate
+process by :mod:`repro.harness.runner`.  The returned dictionaries include
+enough qualitative information (spec results, optimality verdicts, state
+counts) to be checked by the integration tests, not just timed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.checker import ModelChecker
+from repro.core.synthesis import synthesize_eba, synthesize_sba
+from repro.factory import build_eba_model, build_sba_model
+from repro.kbp.implementation import verify_sba_implementation
+from repro.protocols.eba import EBasicProtocol, EMinProtocol
+from repro.protocols.sba import (
+    CountConditionProtocol,
+    DworkMosesProtocol,
+    FloodSetRevisedProtocol,
+    FloodSetStandardProtocol,
+)
+from repro.spec.eba import eba_spec_formulas
+from repro.spec.sba import sba_spec_formulas
+from repro.systems.space import build_space
+
+
+def _sba_protocol(exchange: str, num_agents: int, max_faulty: int, optimal: bool):
+    """The literature protocol used for model checking a given exchange."""
+    if exchange == "floodset":
+        if optimal:
+            return FloodSetRevisedProtocol(num_agents, max_faulty)
+        return FloodSetStandardProtocol(num_agents, max_faulty)
+    if exchange in ("count", "diff"):
+        if optimal:
+            return CountConditionProtocol(num_agents, max_faulty)
+        return FloodSetStandardProtocol(num_agents, max_faulty)
+    if exchange == "dwork-moses":
+        return DworkMosesProtocol(num_agents, max_faulty)
+    raise ValueError(f"no literature protocol for exchange {exchange!r}")
+
+
+def sba_model_check_task(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    num_values: int = 2,
+    failures: str = "crash",
+    rounds: Optional[int] = None,
+    optimal_protocol: bool = False,
+    max_states: Optional[int] = None,
+) -> Dict[str, object]:
+    """Model check an SBA protocol: temporal specification + knowledge analysis.
+
+    This mirrors the paper's model-checking experiments: the space generated
+    by the literature protocol is built, the SBA specification formulas are
+    checked, and the protocol's decisions are compared against the knowledge
+    condition ``B^N_i CB_N ∃v`` at every point (the optimality check).
+    """
+    model = build_sba_model(
+        exchange, num_agents=num_agents, max_faulty=max_faulty,
+        num_values=num_values, failures=failures,
+    )
+    horizon = rounds if rounds is not None else model.default_horizon()
+    protocol = _sba_protocol(exchange, num_agents, max_faulty, optimal_protocol)
+    space = build_space(model, protocol, horizon=horizon, max_states=max_states)
+
+    checker = ModelChecker(space)
+    spec_results = {
+        name: checker.holds_initially(formula)
+        for name, formula in sba_spec_formulas(model, horizon).items()
+    }
+    report = verify_sba_implementation(model, protocol, space=space)
+    return {
+        "task": "sba-model-check",
+        "exchange": exchange,
+        "failures": failures,
+        "n": num_agents,
+        "t": max_faulty,
+        "rounds": horizon,
+        "protocol": protocol.name,
+        "states": space.num_states(),
+        "spec": spec_results,
+        "implementation_ok": report.ok,
+        "optimal": report.is_optimal,
+        "sound": report.is_sound,
+        "late_points": len(report.late_mismatches()),
+    }
+
+
+def sba_temporal_only_task(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    num_values: int = 2,
+    failures: str = "crash",
+    max_states: Optional[int] = None,
+) -> Dict[str, object]:
+    """Model check only the purely temporal SBA specification.
+
+    This is the ablation suggested by the paper's concluding remark: checking
+    the temporal specification alone (no knowledge or common-belief
+    operators) scales considerably better.
+    """
+    model = build_sba_model(
+        exchange, num_agents=num_agents, max_faulty=max_faulty,
+        num_values=num_values, failures=failures,
+    )
+    horizon = model.default_horizon()
+    protocol = _sba_protocol(exchange, num_agents, max_faulty, optimal=False)
+    space = build_space(model, protocol, horizon=horizon, max_states=max_states)
+    checker = ModelChecker(space)
+    spec_results = {
+        name: checker.holds_initially(formula)
+        for name, formula in sba_spec_formulas(model, horizon).items()
+    }
+    return {
+        "task": "sba-temporal-only",
+        "exchange": exchange,
+        "n": num_agents,
+        "t": max_faulty,
+        "states": space.num_states(),
+        "spec": spec_results,
+    }
+
+
+def sba_synthesis_task(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    num_values: int = 2,
+    failures: str = "crash",
+    rounds: Optional[int] = None,
+    max_states: Optional[int] = None,
+) -> Dict[str, object]:
+    """Synthesize the optimal SBA protocol for an exchange and failure model."""
+    model = build_sba_model(
+        exchange, num_agents=num_agents, max_faulty=max_faulty,
+        num_values=num_values, failures=failures,
+    )
+    result = synthesize_sba(model, horizon=rounds, max_states=max_states)
+    earliest = None
+    for time in range(result.space.horizon + 1):
+        if any(
+            not result.conditions.get(agent, time, value).always_false()
+            for agent in model.agents()
+            for value in model.values()
+        ):
+            earliest = time
+            break
+    return {
+        "task": "sba-synthesis",
+        "exchange": exchange,
+        "failures": failures,
+        "n": num_agents,
+        "t": max_faulty,
+        "states": result.space.num_states(),
+        "earliest_condition_time": earliest,
+    }
+
+
+def eba_synthesis_task(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    failures: str = "sending",
+    max_states: Optional[int] = None,
+) -> Dict[str, object]:
+    """Synthesize an implementation of ``P0`` for an EBA exchange."""
+    model = build_eba_model(
+        exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+    )
+    result = synthesize_eba(model, max_states=max_states)
+    return {
+        "task": "eba-synthesis",
+        "exchange": exchange,
+        "failures": failures,
+        "n": num_agents,
+        "t": max_faulty,
+        "states": result.space.num_states(),
+        "iterations": result.iterations,
+        "converged": result.converged,
+    }
+
+
+def eba_model_check_task(
+    exchange: str,
+    num_agents: int,
+    max_faulty: int,
+    failures: str = "sending",
+    max_states: Optional[int] = None,
+) -> Dict[str, object]:
+    """Model check the literature EBA protocol against the EBA specification."""
+    model = build_eba_model(
+        exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+    )
+    if exchange == "emin":
+        protocol = EMinProtocol(num_agents, max_faulty)
+    elif exchange == "ebasic":
+        protocol = EBasicProtocol(num_agents, max_faulty)
+    else:
+        raise ValueError(f"unknown EBA exchange {exchange!r}")
+    horizon = model.default_horizon()
+    space = build_space(model, protocol, horizon=horizon, max_states=max_states)
+    checker = ModelChecker(space)
+    spec_results = {
+        name: checker.holds_initially(formula)
+        for name, formula in eba_spec_formulas(model, horizon).items()
+    }
+    return {
+        "task": "eba-model-check",
+        "exchange": exchange,
+        "failures": failures,
+        "n": num_agents,
+        "t": max_faulty,
+        "protocol": protocol.name,
+        "states": space.num_states(),
+        "spec": spec_results,
+    }
+
+
+#: Registry used by the subprocess runner (names must be stable).
+TASKS = {
+    "sba-model-check": sba_model_check_task,
+    "sba-temporal-only": sba_temporal_only_task,
+    "sba-synthesis": sba_synthesis_task,
+    "eba-synthesis": eba_synthesis_task,
+    "eba-model-check": eba_model_check_task,
+}

@@ -1,0 +1,104 @@
+"""Epistemic and temporal logic formulas.
+
+This subpackage provides the formula language used throughout the
+reproduction: propositional connectives, the knowledge operator ``K_i``,
+belief relative to the indexical nonfaulty set ``B^N_i``, "everyone in N
+believes" ``EB_N``, common belief ``CB_N`` (a greatest fixpoint), the raw
+greatest-fixpoint operator ``nu X . phi(X)``, and a small set of bounded CTL
+temporal operators (``AX``, ``EX``, ``AG``, ``EG``, ``AF``, ``EF``).
+
+Formulas are immutable and hashable.  They are evaluated over levelled
+state spaces by :mod:`repro.core.checker` under the clock semantics of
+knowledge, exactly as in the paper (MCK's ``KBP_semantics = clk``).
+"""
+
+from repro.logic.formula import (
+    And,
+    Atom,
+    Bottom,
+    CommonBelief,
+    EvAlways,
+    EvEventually,
+    EvNext,
+    EveryoneBelieves,
+    Eventually,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Not,
+    Nu,
+    Or,
+    Always,
+    Top,
+    Var,
+)
+from repro.logic.atoms import (
+    decided,
+    decides_now,
+    decision_is,
+    exists_value,
+    init_is,
+    nonfaulty,
+    obs_feature,
+    some_decided_value,
+    time_is,
+)
+from repro.logic.builders import (
+    AX_power,
+    belief_n,
+    big_and,
+    big_or,
+    common_belief_exists,
+    iff,
+    implies,
+    knows,
+    neg,
+)
+
+__all__ = [
+    # formula classes
+    "Formula",
+    "Top",
+    "Bottom",
+    "Atom",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Knows",
+    "KnowsNonfaulty",
+    "EveryoneBelieves",
+    "CommonBelief",
+    "Nu",
+    "Next",
+    "EvNext",
+    "Always",
+    "EvAlways",
+    "Eventually",
+    "EvEventually",
+    # atom constructors
+    "init_is",
+    "exists_value",
+    "decided",
+    "decision_is",
+    "decides_now",
+    "some_decided_value",
+    "nonfaulty",
+    "time_is",
+    "obs_feature",
+    # builders
+    "neg",
+    "implies",
+    "iff",
+    "big_and",
+    "big_or",
+    "knows",
+    "belief_n",
+    "common_belief_exists",
+    "AX_power",
+]

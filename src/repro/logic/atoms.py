@@ -1,0 +1,80 @@
+"""Structured atomic propositions used by the consensus models.
+
+Atoms are :class:`repro.logic.formula.Atom` nodes whose ``key`` is a tuple
+``(kind, *arguments)``.  The Byzantine-Agreement models interpret these keys
+in :meth:`repro.systems.model.BAModel.eval_atom`.  The kinds are:
+
+``("init", i, v)``
+    Agent ``i``'s initial preference is ``v``.
+``("exists", v)``
+    Some agent has initial preference ``v`` (the paper's ``∃v``).
+``("decided", i)``
+    Agent ``i`` has already decided (in some earlier round).
+``("decision", i, v)``
+    Agent ``i`` has decided, and its decision is ``v``.
+``("some_decided", v)``
+    Some agent has decided value ``v``.
+``("decides_now", i, v)``
+    Agent ``i`` performs ``decide_i(v)`` in the current round (the paper's
+    ``decides_i(v)`` proposition).  Only meaningful when the state space is
+    built together with a decision protocol.
+``("nonfaulty", i)``
+    Agent ``i`` is in the indexical nonfaulty set ``N``.
+``("time", m)``
+    The current time is ``m``.
+``("obs", i, feature, value)``
+    Feature ``feature`` of agent ``i``'s observation equals ``value``; used to
+    phrase hypotheses such as the paper's conditions (2) and (3) in terms of
+    observable variables.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.logic.formula import Atom
+
+
+def init_is(agent: int, value: int) -> Atom:
+    """Atom: agent ``agent``'s initial preference equals ``value``."""
+    return Atom(("init", agent, value))
+
+
+def exists_value(value: int) -> Atom:
+    """Atom: some agent's initial preference equals ``value`` (``∃v``)."""
+    return Atom(("exists", value))
+
+
+def decided(agent: int) -> Atom:
+    """Atom: agent ``agent`` has decided in some earlier round."""
+    return Atom(("decided", agent))
+
+
+def decision_is(agent: int, value: int) -> Atom:
+    """Atom: agent ``agent`` has decided on ``value``."""
+    return Atom(("decision", agent, value))
+
+
+def some_decided_value(value: int) -> Atom:
+    """Atom: some agent has decided on ``value``."""
+    return Atom(("some_decided", value))
+
+
+def decides_now(agent: int, value: int) -> Atom:
+    """Atom: agent ``agent`` performs ``decide(value)`` in the current round."""
+    return Atom(("decides_now", agent, value))
+
+
+def nonfaulty(agent: int) -> Atom:
+    """Atom: agent ``agent`` belongs to the indexical nonfaulty set ``N``."""
+    return Atom(("nonfaulty", agent))
+
+
+def time_is(time: int) -> Atom:
+    """Atom: the current time (number of completed rounds) equals ``time``."""
+    return Atom(("time", time))
+
+
+def obs_feature(agent: int, feature: str, value: Hashable) -> Atom:
+    """Atom: feature ``feature`` of agent ``agent``'s observation is ``value``."""
+    return Atom(("obs", agent, feature, value))

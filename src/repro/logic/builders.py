@@ -1,0 +1,99 @@
+"""Convenience constructors for common formula shapes.
+
+These helpers keep model and specification code close to the notation used in
+the paper: ``B^N_i CB_N ∃v`` is written
+``belief_n(i, CommonBelief(exists_value(v)))`` or, more compactly,
+``common_belief_exists(i, v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.atoms import exists_value
+from repro.logic.formula import (
+    And,
+    Bottom,
+    CommonBelief,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Not,
+    Or,
+    Top,
+)
+
+
+def neg(formula: Formula) -> Formula:
+    """Negation, collapsing double negations."""
+    if isinstance(formula, Not):
+        return formula.operand
+    return Not(formula)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Material implication ``antecedent => consequent``."""
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Biconditional ``left <=> right``."""
+    return Iff(left, right)
+
+
+def big_and(operands: Iterable[Formula]) -> Formula:
+    """N-ary conjunction; returns ``Top`` for the empty conjunction."""
+    flattened = _flatten(operands, And)
+    if not flattened:
+        return Top()
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(tuple(flattened))
+
+
+def big_or(operands: Iterable[Formula]) -> Formula:
+    """N-ary disjunction; returns ``Bottom`` for the empty disjunction."""
+    flattened = _flatten(operands, Or)
+    if not flattened:
+        return Bottom()
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(tuple(flattened))
+
+
+def _flatten(operands: Iterable[Formula], combinator: type) -> list:
+    result: list = []
+    for operand in operands:
+        if isinstance(operand, combinator):
+            result.extend(operand.operands)
+        else:
+            result.append(operand)
+    return result
+
+
+def knows(agent: int, formula: Formula) -> Formula:
+    """``K_agent formula``."""
+    return Knows(agent, formula)
+
+
+def belief_n(agent: int, formula: Formula) -> Formula:
+    """``B^N_agent formula`` — belief relative to the nonfaulty set."""
+    return KnowsNonfaulty(agent, formula)
+
+
+def common_belief_exists(agent: int, value: int) -> Formula:
+    """The SBA decision condition ``B^N_i CB_N ∃v`` from the paper (Sec. 5)."""
+    return KnowsNonfaulty(agent, CommonBelief(exists_value(value)))
+
+
+def AX_power(power: int, formula: Formula) -> Formula:
+    """``AX^power formula``: the formula holds after exactly ``power`` rounds."""
+    if power < 0:
+        raise ValueError("power must be non-negative")
+    result = formula
+    for _ in range(power):
+        result = Next(result)
+    return result

@@ -1,0 +1,443 @@
+"""Formula abstract syntax for the logic of knowledge and (bounded) time.
+
+The formula language follows Section 2 of the paper:
+
+* propositional connectives over atomic propositions,
+* ``Knows(i, phi)`` — agent ``i`` knows ``phi`` (clock semantics),
+* ``KnowsNonfaulty(i, phi)`` — belief relative to the indexical nonfaulty
+  set: ``B^N_i phi  =  K_i (i in N  =>  phi)``,
+* ``EveryoneBelieves(phi)`` — ``EB_N phi  =  AND_{i in N} B^N_i phi``,
+* ``CommonBelief(phi)`` — ``CB_N phi  =  nu X . EB_N (phi AND X)``,
+* ``Nu(var, phi)`` — the raw greatest fixpoint operator,
+* bounded CTL temporal operators (``AX``, ``EX``, ``AG``, ``EG``, ``AF``,
+  ``EF``) interpreted over the finite-horizon levelled state space, with the
+  final level treated as absorbing.
+
+All nodes are immutable (frozen dataclasses) and hashable, so formulas can be
+used as dictionary keys, cached, and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Tuple
+
+
+class Formula:
+    """Base class for all formula nodes.
+
+    Provides convenience operator overloads so formulas compose readably:
+    ``a & b`` (conjunction), ``a | b`` (disjunction), ``~a`` (negation),
+    ``a >> b`` (implication).
+    """
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    # -- structural helpers -------------------------------------------------
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas of this node."""
+        return ()
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Yield this node and (recursively) every subformula."""
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def free_variables(self) -> frozenset:
+        """Names of fixpoint variables occurring free in the formula."""
+        bound: set = set()
+        free: set = set()
+        _collect_free_variables(self, bound, free)
+        return frozenset(free)
+
+    def is_closed(self) -> bool:
+        """True when the formula has no free fixpoint variables."""
+        return not self.free_variables()
+
+    def agents(self) -> frozenset:
+        """All agent identifiers mentioned by knowledge/belief operators."""
+        found: set = set()
+        for sub in self.subformulas():
+            if isinstance(sub, (Knows, KnowsNonfaulty)):
+                found.add(sub.agent)
+        return frozenset(found)
+
+    def has_temporal(self) -> bool:
+        """True when the formula contains a temporal operator."""
+        temporal = (Next, EvNext, Always, EvAlways, Eventually, EvEventually)
+        return any(isinstance(sub, temporal) for sub in self.subformulas())
+
+    def has_knowledge(self) -> bool:
+        """True when the formula contains a knowledge or belief operator."""
+        epistemic = (Knows, KnowsNonfaulty, EveryoneBelieves, CommonBelief)
+        return any(isinstance(sub, epistemic) for sub in self.subformulas())
+
+    def size(self) -> int:
+        """Number of nodes in the formula tree."""
+        return sum(1 for _ in self.subformulas())
+
+
+def _collect_free_variables(formula: Formula, bound: set, free: set) -> None:
+    if isinstance(formula, Var):
+        if formula.name not in bound:
+            free.add(formula.name)
+        return
+    if isinstance(formula, Nu):
+        newly_bound = formula.variable not in bound
+        if newly_bound:
+            bound.add(formula.variable)
+        _collect_free_variables(formula.operand, bound, free)
+        if newly_bound:
+            bound.discard(formula.variable)
+        return
+    for child in formula.children():
+        _collect_free_variables(child, bound, free)
+
+
+# ---------------------------------------------------------------------------
+# Propositional layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The constant true formula."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The constant false formula."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic proposition, identified by a hashable key.
+
+    The interpretation of keys is supplied by the model being checked (see
+    :meth:`repro.systems.model.BAModel.eval_atom`).  Structured constructors
+    for the keys used by the consensus models live in
+    :mod:`repro.logic.atoms`.
+    """
+
+    key: Hashable
+
+    def __str__(self) -> str:
+        if isinstance(self.key, tuple):
+            head, *rest = self.key
+            if rest:
+                return f"{head}({', '.join(str(part) for part in rest)})"
+            return str(head)
+        return str(self.key)
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A fixpoint variable (bound by :class:`Nu`)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"~({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction.  The empty conjunction is equivalent to true."""
+
+    operands: Tuple[Formula, ...] = field(default_factory=tuple)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return "(" + " /\\ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction.  The empty disjunction is equivalent to false."""
+
+    operands: Tuple[Formula, ...] = field(default_factory=tuple)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return "(" + " \\/ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} => {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Biconditional."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} <=> {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Epistemic layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Knows(Formula):
+    """``K_i phi``: agent ``i`` knows ``phi`` (clock semantics)."""
+
+    agent: int
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"K_{self.agent}({self.operand})"
+
+
+@dataclass(frozen=True)
+class KnowsNonfaulty(Formula):
+    """``B^N_i phi = K_i (i in N => phi)``: belief relative to the nonfaulty
+    set ``N``.
+
+    ``N`` is indexical — its extension differs from point to point and is
+    supplied by the model's ``nonfaulty`` labelling.
+    """
+
+    agent: int
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"B^N_{self.agent}({self.operand})"
+
+
+@dataclass(frozen=True)
+class EveryoneBelieves(Formula):
+    """``EB_N phi``: every agent in the indexical set ``N`` believes ``phi``."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"EB_N({self.operand})"
+
+
+@dataclass(frozen=True)
+class CommonBelief(Formula):
+    """``CB_N phi = nu X . EB_N (phi /\\ X)``: common belief among ``N``."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"CB_N({self.operand})"
+
+
+@dataclass(frozen=True)
+class Nu(Formula):
+    """``nu X . phi(X)``: the greatest fixpoint operator.
+
+    The bound variable must occur only positively (under an even number of
+    negations) inside ``operand`` for the fixpoint to be well defined; this is
+    checked by :func:`check_positive`.
+    """
+
+    variable: str
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"nu {self.variable} . ({self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Bounded temporal layer (CTL-style, over the levelled finite-horizon DAG)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``AX phi``: on all successors (of the next round) ``phi`` holds."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"AX({self.operand})"
+
+
+@dataclass(frozen=True)
+class EvNext(Formula):
+    """``EX phi``: on some successor ``phi`` holds."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"EX({self.operand})"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``AG phi``: on all paths, at all future points, ``phi`` holds."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"AG({self.operand})"
+
+
+@dataclass(frozen=True)
+class EvAlways(Formula):
+    """``EG phi``: on some path, at all future points, ``phi`` holds."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"EG({self.operand})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``AF phi``: on all paths, ``phi`` eventually holds."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"AF({self.operand})"
+
+
+@dataclass(frozen=True)
+class EvEventually(Formula):
+    """``EF phi``: on some path, ``phi`` eventually holds."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"EF({self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness checks
+# ---------------------------------------------------------------------------
+
+
+class PositivityError(ValueError):
+    """Raised when a fixpoint variable occurs negatively under its binder."""
+
+
+def check_positive(formula: Formula) -> None:
+    """Check that every ``Nu``-bound variable occurs only positively.
+
+    Raises :class:`PositivityError` if a bound fixpoint variable appears
+    under an odd number of negations (counting the left side of implications
+    and both sides of biconditionals as negative-capable positions).
+    """
+
+    def walk(node: Formula, tracked: dict, polarity: int) -> None:
+        if isinstance(node, Var):
+            if node.name in tracked and polarity < 0:
+                raise PositivityError(
+                    f"fixpoint variable {node.name!r} occurs negatively"
+                )
+            return
+        if isinstance(node, Nu):
+            inner = dict(tracked)
+            inner[node.variable] = True
+            walk(node.operand, inner, polarity)
+            return
+        if isinstance(node, Not):
+            walk(node.operand, tracked, -polarity)
+            return
+        if isinstance(node, Implies):
+            walk(node.antecedent, tracked, -polarity)
+            walk(node.consequent, tracked, polarity)
+            return
+        if isinstance(node, Iff):
+            # Variables under <=> occur both positively and negatively.
+            for side in (node.left, node.right):
+                walk(side, tracked, polarity)
+                walk(side, tracked, -polarity)
+            return
+        for child in node.children():
+            walk(child, tracked, polarity)
+
+    walk(formula, {}, +1)

@@ -1,0 +1,37 @@
+"""Concrete decision protocols from the literature.
+
+These are the decision layers ``P`` that the paper model checks against the
+knowledge-based programs:
+
+* SBA protocols (Section 7): the standard FloodSet rule (decide the least
+  value seen at round ``t + 1``), the revised FloodSet rule implementing the
+  paper's condition (2), the Count-FloodSet rule implementing condition (3),
+  and the Dwork–Moses waste-based rule.
+* EBA protocols (Section 9): the implementations of the knowledge-based
+  program ``P0`` for the exchanges ``E_min`` and ``E_basic``.
+
+Every protocol is a callable ``(agent, local_state, time) -> action`` and can
+be passed directly to :func:`repro.systems.space.build_space` and
+:func:`repro.systems.runs.simulate_run`.
+"""
+
+from repro.protocols.base import DecisionProtocol, FunctionProtocol, NeverDecide
+from repro.protocols.sba import (
+    CountConditionProtocol,
+    DworkMosesProtocol,
+    FloodSetRevisedProtocol,
+    FloodSetStandardProtocol,
+)
+from repro.protocols.eba import EBasicProtocol, EMinProtocol
+
+__all__ = [
+    "DecisionProtocol",
+    "FunctionProtocol",
+    "NeverDecide",
+    "FloodSetStandardProtocol",
+    "FloodSetRevisedProtocol",
+    "CountConditionProtocol",
+    "DworkMosesProtocol",
+    "EMinProtocol",
+    "EBasicProtocol",
+]

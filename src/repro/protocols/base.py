@@ -1,0 +1,56 @@
+"""Decision-protocol base classes.
+
+A decision protocol is the upper layer of the paper's two-layer model: a
+function from the agent's local state (and the current time) to the action —
+``noop`` or ``decide(v)`` — performed in the next round.  The state-space
+builder and the run simulator only consult the protocol for agents that have
+not yet decided and are still able to act, so implementations do not need to
+re-check those conditions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Tuple
+
+from repro.systems.actions import Action, NOOP
+
+
+class DecisionProtocol(ABC):
+    """Abstract decision protocol ``P``."""
+
+    #: Short name used in tables and benchmark output.
+    name: str = "protocol"
+
+    @abstractmethod
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        """The action of ``agent`` with local state ``local`` at ``time``."""
+
+    def __call__(self, agent: int, local: Tuple, time: int) -> Action:
+        return self.act(agent, local, time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class NeverDecide(DecisionProtocol):
+    """The protocol that never decides (pure information exchange)."""
+
+    name = "never"
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        return NOOP
+
+
+class FunctionProtocol(DecisionProtocol):
+    """Wrap a plain function as a decision protocol."""
+
+    def __init__(
+        self, func: Callable[[int, Tuple, int], Action], name: Optional[str] = None
+    ) -> None:
+        self._func = func
+        if name is not None:
+            self.name = name
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        return self._func(agent, local, time)

@@ -1,0 +1,68 @@
+"""Concrete EBA decision protocols: implementations of the program ``P0``.
+
+These are the implementations described in Section 9 of the paper for the
+information exchanges ``E_min`` and ``E_basic``; they are optimal EBA
+protocols with respect to their exchanges (Alpturer, Halpern & van der
+Meyden, PODC'23).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exchanges.eba_basic import EBasicLocal
+from repro.exchanges.eba_min import EMinLocal
+from repro.protocols.base import DecisionProtocol
+from repro.systems.actions import Action, NOOP
+
+
+class EMinProtocol(DecisionProtocol):
+    """Implementation of ``P0`` for the exchange ``E_min``.
+
+    Decide 0 as soon as ``init = 0`` or a just-decided 0 is heard
+    (``jd = 0``); otherwise decide 1 at time ``t + 1``.
+    """
+
+    name = "emin"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        if not isinstance(local, EMinLocal):
+            raise TypeError("EMinProtocol requires an E_min local state")
+        if local.init == 0 or local.jd == 0:
+            return 0
+        if time >= self.max_faulty + 1:
+            return 1
+        return NOOP
+
+
+class EBasicProtocol(DecisionProtocol):
+    """Implementation of ``P0`` for the exchange ``E_basic``.
+
+    Decide 0 as soon as ``init = 0`` or a just-decided 0 is heard; decide 1 as
+    soon as ``num1 > n - time`` (enough undecided 1-initial agents were heard
+    from that no 0 can be hiding) or a just-decided 1 is heard, or at time
+    ``t + 1`` as a fallback.
+    """
+
+    name = "ebasic"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        if not isinstance(local, EBasicLocal):
+            raise TypeError("EBasicProtocol requires an E_basic local state")
+        if local.init == 0 or local.jd == 0:
+            return 0
+        if time >= 1 and local.num1 > self.num_agents - time:
+            return 1
+        if local.jd == 1:
+            return 1
+        if time >= self.max_faulty + 1:
+            return 1
+        return NOOP

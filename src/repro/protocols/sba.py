@@ -1,0 +1,126 @@
+"""Concrete SBA decision protocols from the literature.
+
+All of these protocols decide on the *least* value the agent has seen, and
+differ only in *when* they decide:
+
+* :class:`FloodSetStandardProtocol` — decide at time ``t + 1``, the stopping
+  rule in Lynch's presentation of FloodSet.
+* :class:`FloodSetRevisedProtocol` — decide at the time given by the paper's
+  condition (2): time ``n - 1`` when ``t >= n - 1`` and ``t + 1`` otherwise.
+  This is the optimal rule for the FloodSet information exchange.
+* :class:`CountConditionProtocol` — the early-exit rule for the
+  Count-FloodSet exchange: decide as soon as ``count <= 1`` (the agent is the
+  only non-crashed agent left), and otherwise at the critical time of the
+  FloodSet exchange (the paper's condition (3)).
+* :class:`DworkMosesProtocol` — the waste-based rule of Dwork and Moses:
+  decide as soon as ``time >= t + 1 - waste``, on value 0 if the agent is
+  aware of an initial 0 and on 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exchanges.count_floodset import CountFloodSetLocal
+from repro.exchanges.diff_floodset import DiffFloodSetLocal
+from repro.exchanges.dwork_moses import DworkMosesLocal
+from repro.protocols.base import DecisionProtocol
+from repro.systems.actions import Action, NOOP
+
+
+def least_seen_value(seen: Tuple[bool, ...]) -> Action:
+    """The least value marked as seen, or ``NOOP`` when none is marked."""
+    for value, flag in enumerate(seen):
+        if flag:
+            return value
+    return NOOP
+
+
+def floodset_critical_time(num_agents: int, max_faulty: int) -> int:
+    """The earliest general decision time for the FloodSet exchange.
+
+    This is the time component of the paper's condition (2):
+    ``n - 1`` when ``t >= n - 1`` and ``t + 1`` otherwise.
+    """
+    if max_faulty >= num_agents - 1:
+        return num_agents - 1
+    return max_faulty + 1
+
+
+class FloodSetStandardProtocol(DecisionProtocol):
+    """FloodSet as in the literature: decide the least value seen at ``t + 1``."""
+
+    name = "floodset-standard"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        if time >= self.max_faulty + 1:
+            return least_seen_value(local.seen)
+        return NOOP
+
+
+class FloodSetRevisedProtocol(DecisionProtocol):
+    """FloodSet with the revised stopping time of the paper's condition (2)."""
+
+    name = "floodset-revised"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+        self.critical_time = floodset_critical_time(num_agents, max_faulty)
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        if time >= self.critical_time:
+            return least_seen_value(local.seen)
+        return NOOP
+
+
+class CountConditionProtocol(DecisionProtocol):
+    """Count-FloodSet with the ``count <= 1`` early exit (condition (3)).
+
+    Works for both the Count-FloodSet and the Diff exchanges, whose local
+    states carry the ``count`` field.
+    """
+
+    name = "count-early-exit"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+        self.critical_time = floodset_critical_time(num_agents, max_faulty)
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        if not isinstance(local, (CountFloodSetLocal, DiffFloodSetLocal)):
+            raise TypeError(
+                "CountConditionProtocol requires a Count-FloodSet or Diff local state"
+            )
+        if time >= 1 and local.count <= 1:
+            return least_seen_value(local.seen)
+        if time >= self.critical_time:
+            return least_seen_value(local.seen)
+        return NOOP
+
+
+class DworkMosesProtocol(DecisionProtocol):
+    """The Dwork–Moses waste-based simultaneous decision rule.
+
+    The agent decides as soon as ``time >= t + 1 - waste``, which is the point
+    at which the existence of a clean round has become common knowledge.  The
+    decision is 0 if the agent is aware of an initial 0 and 1 otherwise.
+    """
+
+    name = "dwork-moses"
+
+    def __init__(self, num_agents: int, max_faulty: int) -> None:
+        self.num_agents = num_agents
+        self.max_faulty = max_faulty
+
+    def act(self, agent: int, local: Tuple, time: int) -> Action:
+        if not isinstance(local, DworkMosesLocal):
+            raise TypeError("DworkMosesProtocol requires a Dwork-Moses local state")
+        if time >= 1 and time >= self.max_faulty + 1 - local.waste:
+            return 0 if local.exists0 else 1
+        return NOOP

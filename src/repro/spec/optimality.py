@@ -1,0 +1,132 @@
+"""The optimality order over decision protocols (Section 4 of the paper).
+
+Two protocols ``P`` and ``P'`` that use the same information exchange ``E``
+and failure model ``F`` are compared over *corresponding runs* — runs with the
+same initial global state, i.e. the same initial preferences and the same
+failure pattern.  ``P <=_{E,F} P'`` holds when, on every corresponding run and
+for every agent, ``P`` does not decide later than ``P'``.
+
+``P`` is *optimum* when ``P <= P'`` for every correct protocol ``P'``; it is
+*optimal* when no correct protocol decides no later everywhere and strictly
+earlier somewhere.  This module provides the machinery for comparing two given
+protocols run by run; the global statements over "all protocols" come from the
+knowledge-based analysis (see :mod:`repro.kbp.implementation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.systems.model import BAModel
+from repro.systems.runs import Adversary, simulate_run
+from repro.systems.space import DecisionRule
+
+
+@dataclass
+class RunComparison:
+    """Decision times of two protocols on one corresponding run."""
+
+    votes: Tuple[int, ...]
+    adversary: Adversary
+    times_first: Dict[int, Optional[int]]
+    times_second: Dict[int, Optional[int]]
+
+    def first_never_later(self) -> bool:
+        """Whether the first protocol decides no later than the second, per agent."""
+        for agent, second_time in self.times_second.items():
+            first_time = self.times_first.get(agent)
+            if second_time is None:
+                continue
+            if first_time is None or first_time > second_time:
+                return False
+        return True
+
+    def first_strictly_earlier(self) -> bool:
+        """Whether the first protocol decides strictly earlier for some agent."""
+        for agent, first_time in self.times_first.items():
+            second_time = self.times_second.get(agent)
+            if first_time is None:
+                continue
+            if second_time is None or first_time < second_time:
+                return True
+        return False
+
+
+@dataclass
+class OptimalityReport:
+    """Aggregate of run-by-run comparisons between two protocols."""
+
+    comparisons: List[RunComparison] = field(default_factory=list)
+
+    def first_never_later(self) -> bool:
+        """``P <=_{E,F} P'`` restricted to the compared runs."""
+        return all(comparison.first_never_later() for comparison in self.comparisons)
+
+    def first_strictly_earlier_somewhere(self) -> bool:
+        """Whether the first protocol is strictly earlier on some compared run."""
+        return any(
+            comparison.first_strictly_earlier() for comparison in self.comparisons
+        )
+
+    def violations(self, limit: Optional[int] = None) -> List[RunComparison]:
+        """Runs on which the first protocol decides later than the second."""
+        found = [
+            comparison
+            for comparison in self.comparisons
+            if not comparison.first_never_later()
+        ]
+        return found if limit is None else found[:limit]
+
+
+def compare_protocols(
+    model: BAModel,
+    first: DecisionRule,
+    second: DecisionRule,
+    adversaries: Iterable[Adversary],
+    votes_list: Optional[Sequence[Tuple[int, ...]]] = None,
+    horizon: Optional[int] = None,
+) -> OptimalityReport:
+    """Compare two protocols on all corresponding runs over the given adversaries.
+
+    ``votes_list`` defaults to every assignment of initial preferences.  Only
+    decision times of agents that are correct under the adversary are
+    recorded, matching the definition in the paper (which tracks when each
+    agent decides; faulty agents' decisions do not matter for the order).
+    """
+    if horizon is None:
+        horizon = model.default_horizon()
+    if votes_list is None:
+        votes_list = list(product(model.values(), repeat=model.num_agents))
+
+    adversaries = list(adversaries)
+    report = OptimalityReport()
+    for adversary in adversaries:
+        correct = adversary.correct_agents(model.num_agents)
+        for votes in votes_list:
+            run_first = simulate_run(model, first, votes, adversary, horizon)
+            run_second = simulate_run(model, second, votes, adversary, horizon)
+            report.comparisons.append(
+                RunComparison(
+                    votes=tuple(votes),
+                    adversary=adversary,
+                    times_first={
+                        agent: run_first.decision_time(agent) for agent in correct
+                    },
+                    times_second={
+                        agent: run_second.decision_time(agent) for agent in correct
+                    },
+                )
+            )
+    return report
+
+
+def never_later(report: OptimalityReport) -> bool:
+    """Convenience wrapper for ``report.first_never_later()``."""
+    return report.first_never_later()
+
+
+def strictly_earlier_somewhere(report: OptimalityReport) -> bool:
+    """Convenience wrapper for ``report.first_strictly_earlier_somewhere()``."""
+    return report.first_strictly_earlier_somewhere()

@@ -1,0 +1,50 @@
+"""Interpreted-systems layer.
+
+This subpackage provides the machinery that turns an information-exchange
+protocol, a failure model and a decision protocol into the interpreted system
+``I_{E,F,P}`` of the paper (Section 3):
+
+* :mod:`repro.systems.exchange` — the information-exchange interface
+  (initial local states, messages, state update, observations).
+* :mod:`repro.systems.model` — :class:`BAModel`, which combines an exchange
+  with a failure model and interprets atomic propositions.
+* :mod:`repro.systems.space` — the levelled (per-time) reachable state space
+  used by the clock-semantics model checker and synthesizer.
+* :mod:`repro.systems.runs` — explicit failure patterns (adversaries) and
+  deterministic run generation, used for run-level properties such as the
+  optimality order ``P <=_{E,F} P'``.
+"""
+
+from repro.systems.actions import NOOP, decide, is_decide
+from repro.systems.exchange import InformationExchange
+from repro.systems.model import BAModel
+from repro.systems.space import LevelledSpace, Point, build_space
+from repro.systems.runs import (
+    Adversary,
+    CrashAdversary,
+    OmissionAdversary,
+    Run,
+    enumerate_crash_adversaries,
+    enumerate_omission_adversaries,
+    sample_adversary,
+    simulate_run,
+)
+
+__all__ = [
+    "NOOP",
+    "decide",
+    "is_decide",
+    "InformationExchange",
+    "BAModel",
+    "LevelledSpace",
+    "Point",
+    "build_space",
+    "Adversary",
+    "CrashAdversary",
+    "OmissionAdversary",
+    "Run",
+    "enumerate_crash_adversaries",
+    "enumerate_omission_adversaries",
+    "sample_adversary",
+    "simulate_run",
+]

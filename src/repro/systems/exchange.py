@@ -1,0 +1,127 @@
+"""The information-exchange protocol interface.
+
+An information exchange ``E`` (Section 3 of the paper) defines the agents'
+local states, the messages they broadcast each round, and how local states are
+updated from the agent's own action and the messages received.  Decision
+protocols and knowledge-based programs are layered on top of an exchange.
+
+Conventions used by every exchange in this package:
+
+* Local states are ``typing.NamedTuple`` instances whose first three fields
+  are ``init`` (the agent's initial preference), ``decided`` (whether the
+  agent has decided) and ``decision`` (the decided value or ``None``).  The
+  remaining fields are exchange specific.  Named tuples keep states hashable,
+  compact, and cheap to copy with ``_replace``.
+* Messages are arbitrary hashable values, broadcast to every agent (all the
+  exchanges studied in the paper are broadcast protocols).  ``None`` means
+  the agent sends nothing this round.
+* The *observation* of an agent is the part of its local state that is
+  declared observable for the clock semantics of knowledge, mirroring the
+  ``observable`` annotations of the MCK scripts.  The current time is always
+  part of the clock-semantics local state and therefore never included in
+  the observation tuple itself.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.systems.actions import Action
+
+
+class InformationExchange(ABC):
+    """Abstract base class for information-exchange protocols.
+
+    Parameters
+    ----------
+    num_agents:
+        The number of agents ``n``.
+    num_values:
+        The number of possible decision values ``|V|``; values are
+        ``0 .. num_values - 1``.
+    max_faulty:
+        The failure bound ``t``.  Exchanges do not usually need it, but some
+        concrete decision rules (e.g. "decide at round ``t + 1``") and the
+        default horizon do.
+    """
+
+    #: Short name used in tables and benchmark output.
+    name: str = "exchange"
+
+    def __init__(self, num_agents: int, num_values: int, max_faulty: int) -> None:
+        if num_agents < 1:
+            raise ValueError("num_agents must be at least 1")
+        if num_values < 1:
+            raise ValueError("num_values must be at least 1")
+        if max_faulty < 0 or max_faulty > num_agents:
+            raise ValueError("max_faulty must be between 0 and num_agents")
+        self.num_agents = num_agents
+        self.num_values = num_values
+        self.max_faulty = max_faulty
+
+    # -- local state lifecycle ---------------------------------------------
+
+    @abstractmethod
+    def initial_local(self, agent: int, init_value: int) -> Tuple:
+        """The initial local state of ``agent`` with preference ``init_value``."""
+
+    @abstractmethod
+    def message(self, agent: int, local: Tuple, action: Action, time: int) -> Optional[Hashable]:
+        """The message broadcast by ``agent`` in round ``time + 1``.
+
+        ``action`` is the decision action the agent performs at the start of
+        the round (``None`` for noop); exchanges such as ``E_min`` broadcast
+        the decided value.  Returning ``None`` means no message is sent.
+        """
+
+    @abstractmethod
+    def update(
+        self,
+        agent: int,
+        local: Tuple,
+        action: Action,
+        received: Mapping[int, Hashable],
+        time: int,
+    ) -> Tuple:
+        """The new local state after round ``time + 1``.
+
+        ``received`` maps each sender (possibly including ``agent`` itself)
+        to the message delivered from that sender this round.  The ``decided``
+        and ``decision`` fields are maintained centrally by
+        :class:`repro.systems.model.BAModel`; implementations should carry
+        them through unchanged.
+        """
+
+    # -- observations --------------------------------------------------------
+
+    @abstractmethod
+    def observation(self, agent: int, local: Tuple) -> Tuple:
+        """The observable part of the local state (excluding the time)."""
+
+    @abstractmethod
+    def observation_features(self, agent: int, local: Tuple) -> Dict[str, Hashable]:
+        """Named observable features, used to render synthesized predicates.
+
+        The keys are variable names as they would appear in an MCK script
+        (for example ``values_received[0]`` or ``count``), and the values are
+        the current values of those variables.  Features must determine the
+        observation: two local states with equal feature mappings must have
+        equal observations.
+        """
+
+    # -- defaults -------------------------------------------------------------
+
+    def default_horizon(self) -> int:
+        """Number of rounds modelled: ``t + 2`` as in the paper's scripts."""
+        return self.max_faulty + 2
+
+    def values(self) -> range:
+        """The decision value domain ``V``."""
+        return range(self.num_values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n={self.num_agents}, "
+            f"t={self.max_faulty}, v={self.num_values})"
+        )

@@ -1,0 +1,398 @@
+"""Explicit failure patterns (adversaries) and deterministic runs.
+
+The optimality order of the paper (Section 4) compares *corresponding runs*
+of two decision protocols: runs with the same initial global state, i.e. the
+same initial preferences and the same failure pattern.  The levelled state
+space resolves failures round by round and therefore does not retain whole
+failure patterns, so for run-level properties (optimality comparisons,
+property-based testing of agreement and validity) this module provides an
+explicit adversary representation and a deterministic run generator.
+
+Two adversary families are provided, matching the failure models:
+
+* :class:`CrashAdversary` — per faulty agent, the round in which it crashes
+  and the set of recipients that still receive its crash-round message.
+* :class:`OmissionAdversary` — the set of faulty agents plus the set of
+  (round, sender, recipient) deliveries that are omitted.
+
+Given an adversary, an assignment of initial preferences and a decision rule,
+the run of ``I_{E,F,P}`` is uniquely determined (Section 3 of the paper);
+:func:`simulate_run` computes it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.failures.base import FailureModel
+from repro.failures.crash import CrashFailures
+from repro.failures.omissions import (
+    GeneralOmissions,
+    OmissionFailures,
+    ReceivingOmissions,
+    SendingOmissions,
+)
+from repro.systems.actions import Action, JointAction, NOOP
+from repro.systems.exchange import InformationExchange
+from repro.systems.model import BAModel, GlobalState
+from repro.systems.space import DecisionRule, noop_rule
+
+
+class Adversary:
+    """Abstract failure pattern: resolves all failure nondeterminism."""
+
+    def is_faulty(self, agent: int) -> bool:
+        """Whether ``agent`` is faulty at all in this pattern."""
+        raise NotImplementedError
+
+    def correct_agents(self, num_agents: int) -> Tuple[int, ...]:
+        """Agents that are not faulty anywhere in the run."""
+        return tuple(agent for agent in range(num_agents) if not self.is_faulty(agent))
+
+    def can_act(self, agent: int, time: int) -> bool:
+        """Whether ``agent`` still runs its decision protocol at ``time``."""
+        raise NotImplementedError
+
+    def can_send(self, agent: int, round_number: int) -> bool:
+        """Whether ``agent`` produces messages in round ``round_number``."""
+        raise NotImplementedError
+
+    def delivered(self, round_number: int, sender: int, recipient: int) -> bool:
+        """Whether the round's message from ``sender`` reaches ``recipient``."""
+        raise NotImplementedError
+
+    def nonfaulty_at(self, agent: int, time: int) -> bool:
+        """Whether ``agent`` is in the indexical nonfaulty set at ``time``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CrashAdversary(Adversary):
+    """A crash failure pattern.
+
+    ``crashes`` maps each faulty agent to ``(crash_round, survivors)``: the
+    agent crashes during ``crash_round`` (the round leading from time
+    ``crash_round - 1`` to time ``crash_round``), and ``survivors`` is the set
+    of recipients that still receive its crash-round message.
+    """
+
+    crashes: Mapping[int, Tuple[int, FrozenSet[int]]] = field(default_factory=dict)
+
+    def is_faulty(self, agent: int) -> bool:
+        return agent in self.crashes
+
+    def crash_round(self, agent: int) -> Optional[int]:
+        """The round in which ``agent`` crashes, or ``None`` if it never does."""
+        entry = self.crashes.get(agent)
+        return entry[0] if entry is not None else None
+
+    def can_act(self, agent: int, time: int) -> bool:
+        crash_round = self.crash_round(agent)
+        return crash_round is None or time < crash_round
+
+    def can_send(self, agent: int, round_number: int) -> bool:
+        crash_round = self.crash_round(agent)
+        return crash_round is None or round_number <= crash_round
+
+    def delivered(self, round_number: int, sender: int, recipient: int) -> bool:
+        entry = self.crashes.get(sender)
+        if entry is None:
+            return True
+        crash_round, survivors = entry
+        if round_number < crash_round:
+            return True
+        if round_number > crash_round:
+            return False
+        return sender == recipient or recipient in survivors
+
+    def nonfaulty_at(self, agent: int, time: int) -> bool:
+        crash_round = self.crash_round(agent)
+        return crash_round is None or time < crash_round
+
+
+@dataclass(frozen=True)
+class OmissionAdversary(Adversary):
+    """An omission failure pattern.
+
+    ``faulty`` is the fixed set of faulty agents; ``omitted`` is the set of
+    (round, sender, recipient) deliveries that are lost.  The constructor does
+    not check the omissions against a particular omission variant; use
+    :func:`enumerate_omission_adversaries` / :func:`sample_adversary` to
+    obtain patterns that respect a given failure model.
+    """
+
+    faulty: FrozenSet[int] = frozenset()
+    omitted: FrozenSet[Tuple[int, int, int]] = frozenset()
+
+    def is_faulty(self, agent: int) -> bool:
+        return agent in self.faulty
+
+    def can_act(self, agent: int, time: int) -> bool:
+        return True
+
+    def can_send(self, agent: int, round_number: int) -> bool:
+        return True
+
+    def delivered(self, round_number: int, sender: int, recipient: int) -> bool:
+        if sender == recipient:
+            return True
+        return (round_number, sender, recipient) not in self.omitted
+
+    def nonfaulty_at(self, agent: int, time: int) -> bool:
+        return agent not in self.faulty
+
+
+# ---------------------------------------------------------------------------
+# Deterministic runs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Run:
+    """A single (deterministic) run of ``I_{E,F,P}``."""
+
+    votes: Tuple[int, ...]
+    adversary: Adversary
+    states: List[GlobalState]
+    actions: List[JointAction]
+    decision_times: Dict[int, Tuple[int, int]]
+
+    def decided(self, agent: int) -> bool:
+        """Whether ``agent`` decides at some point in the run."""
+        return agent in self.decision_times
+
+    def decision_time(self, agent: int) -> Optional[int]:
+        """The time at which ``agent`` decides, or ``None``."""
+        entry = self.decision_times.get(agent)
+        return entry[0] if entry is not None else None
+
+    def decision_value(self, agent: int) -> Optional[int]:
+        """The value decided by ``agent``, or ``None``."""
+        entry = self.decision_times.get(agent)
+        return entry[1] if entry is not None else None
+
+
+def _crash_env(adversary: Adversary, num_agents: int, time: int) -> Tuple[bool, ...]:
+    return tuple(not adversary.nonfaulty_at(agent, time) for agent in range(num_agents))
+
+
+def _env_for(
+    failures: FailureModel, adversary: Adversary, num_agents: int, time: int
+):
+    """Environment state consistent with the adversary at a given time."""
+    if isinstance(failures, CrashFailures):
+        return _crash_env(adversary, num_agents, time)
+    if isinstance(failures, OmissionFailures):
+        return frozenset(
+            agent for agent in range(num_agents) if adversary.is_faulty(agent)
+        )
+    raise TypeError(f"unsupported failure model {type(failures).__name__}")
+
+
+def simulate_run(
+    model: BAModel,
+    rule: Optional[DecisionRule],
+    votes: Sequence[int],
+    adversary: Adversary,
+    horizon: Optional[int] = None,
+) -> Run:
+    """Compute the unique run for given votes, adversary and decision rule."""
+    if rule is None:
+        rule = noop_rule
+    if horizon is None:
+        horizon = model.default_horizon()
+    if len(votes) != model.num_agents:
+        raise ValueError("one initial preference per agent is required")
+
+    exchange: InformationExchange = model.exchange
+    locals_ = tuple(
+        exchange.initial_local(agent, votes[agent]) for agent in model.agents()
+    )
+    env = _env_for(model.failures, adversary, model.num_agents, 0)
+    states = [GlobalState(env, locals_)]
+    actions: List[JointAction] = []
+    decision_times: Dict[int, Tuple[int, int]] = {}
+
+    for time in range(horizon + 1):
+        state = states[-1]
+        joint: List[Action] = []
+        for agent in model.agents():
+            local = state.locals[agent]
+            if local.decided or not adversary.can_act(agent, time):
+                joint.append(NOOP)
+                continue
+            action = rule(agent, local, time)
+            joint.append(action)
+            if action is not NOOP and agent not in decision_times:
+                decision_times[agent] = (time, action)
+        joint_action = tuple(joint)
+        actions.append(joint_action)
+
+        if time == horizon:
+            break
+
+        round_number = time + 1
+        messages = []
+        for sender in model.agents():
+            if not adversary.can_send(sender, round_number):
+                messages.append(None)
+            else:
+                messages.append(
+                    exchange.message(
+                        sender, state.locals[sender], joint_action[sender], time
+                    )
+                )
+        new_locals = []
+        for recipient in model.agents():
+            received = {
+                sender: messages[sender]
+                for sender in model.agents()
+                if messages[sender] is not None
+                and adversary.delivered(round_number, sender, recipient)
+            }
+            new_local = exchange.update(
+                recipient,
+                state.locals[recipient],
+                joint_action[recipient],
+                received,
+                time,
+            )
+            if joint_action[recipient] is not NOOP and not state.locals[recipient].decided:
+                new_local = new_local._replace(
+                    decided=True, decision=joint_action[recipient]
+                )
+            new_locals.append(new_local)
+        env = _env_for(model.failures, adversary, model.num_agents, time + 1)
+        states.append(GlobalState(env, tuple(new_locals)))
+
+    return Run(
+        votes=tuple(votes),
+        adversary=adversary,
+        states=states,
+        actions=actions,
+        decision_times=decision_times,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adversary enumeration and sampling
+# ---------------------------------------------------------------------------
+
+
+def enumerate_crash_adversaries(
+    num_agents: int,
+    max_faulty: int,
+    horizon: int,
+    limit: Optional[int] = None,
+) -> Iterator[CrashAdversary]:
+    """Enumerate crash failure patterns (exhaustive for small instances).
+
+    Each faulty agent is assigned a crash round in ``1 .. horizon`` and a set
+    of recipients (other than itself) that receive its crash-round message.
+    ``limit`` truncates the enumeration (useful in tests).
+    """
+    produced = 0
+    agents = range(num_agents)
+    for size in range(0, max_faulty + 1):
+        for faulty in combinations(agents, size):
+            per_agent_options = []
+            for agent in faulty:
+                others = [other for other in agents if other != agent]
+                options = []
+                for crash_round in range(1, horizon + 1):
+                    for survivor_count in range(len(others) + 1):
+                        for survivors in combinations(others, survivor_count):
+                            options.append((crash_round, frozenset(survivors)))
+                per_agent_options.append(options)
+            for assignment in product(*per_agent_options):
+                crashes = dict(zip(faulty, assignment))
+                yield CrashAdversary(crashes=crashes)
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+
+
+def enumerate_omission_adversaries(
+    failures: OmissionFailures,
+    horizon: int,
+    limit: Optional[int] = None,
+) -> Iterator[OmissionAdversary]:
+    """Enumerate omission failure patterns for a given omission variant.
+
+    The enumeration is exponential in ``n * horizon`` and is intended only for
+    very small instances; use ``limit`` or :func:`sample_adversary` otherwise.
+    """
+    produced = 0
+    agents = range(failures.num_agents)
+    for size in range(0, failures.max_faulty + 1):
+        for faulty in combinations(agents, size):
+            faulty_set = frozenset(faulty)
+            candidate_links = [
+                (round_number, sender, recipient)
+                for round_number in range(1, horizon + 1)
+                for sender in agents
+                for recipient in agents
+                if sender != recipient
+                and _omission_allowed(failures, faulty_set, sender, recipient)
+            ]
+            for omit_count in range(len(candidate_links) + 1):
+                for omitted in combinations(candidate_links, omit_count):
+                    yield OmissionAdversary(
+                        faulty=faulty_set, omitted=frozenset(omitted)
+                    )
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+
+
+def _omission_allowed(
+    failures: OmissionFailures, faulty: FrozenSet[int], sender: int, recipient: int
+) -> bool:
+    if isinstance(failures, SendingOmissions):
+        return sender in faulty
+    if isinstance(failures, ReceivingOmissions):
+        return recipient in faulty
+    if isinstance(failures, GeneralOmissions):
+        return sender in faulty or recipient in faulty
+    raise TypeError(f"unsupported omission model {type(failures).__name__}")
+
+
+def sample_adversary(
+    failures: FailureModel,
+    horizon: int,
+    rng: random.Random,
+) -> Adversary:
+    """Draw a random failure pattern consistent with the failure model."""
+    agents = list(range(failures.num_agents))
+    num_faulty = rng.randint(0, failures.max_faulty)
+    faulty = rng.sample(agents, num_faulty)
+
+    if isinstance(failures, CrashFailures):
+        crashes = {}
+        for agent in faulty:
+            crash_round = rng.randint(1, horizon)
+            others = [other for other in agents if other != agent]
+            survivors = frozenset(
+                other for other in others if rng.random() < 0.5
+            )
+            crashes[agent] = (crash_round, survivors)
+        return CrashAdversary(crashes=crashes)
+
+    if isinstance(failures, OmissionFailures):
+        faulty_set = frozenset(faulty)
+        omitted = set()
+        for round_number in range(1, horizon + 1):
+            for sender in agents:
+                for recipient in agents:
+                    if sender == recipient:
+                        continue
+                    if not _omission_allowed(failures, faulty_set, sender, recipient):
+                        continue
+                    if rng.random() < 0.5:
+                        omitted.add((round_number, sender, recipient))
+        return OmissionAdversary(faulty=faulty_set, omitted=frozenset(omitted))
+
+    raise TypeError(f"unsupported failure model {type(failures).__name__}")

@@ -1,0 +1,276 @@
+"""Levelled reachable state spaces.
+
+Under the clock semantics of knowledge, an agent's local state is the pair
+``(time, observation)``, so two points are epistemically related only when
+they occur at the same time.  This makes a *levelled* representation of the
+reachable state space the natural data structure: the set of reachable global
+states is stored per time level, together with the joint decision action taken
+at each state and the successor relation between consecutive levels.
+
+The space is built incrementally, one level at a time.  This is exactly what
+knowledge-based-program synthesis needs: the knowledge conditions at time
+``m`` depend only on the reachable states at time ``m``, which in turn depend
+only on the actions chosen at earlier times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.systems.actions import Action, JointAction, NOOP
+from repro.systems.model import BAModel, GlobalState
+
+#: A point of the system: (time, index of the state within that level).
+Point = Tuple[int, int]
+
+
+class SpaceBudgetExceeded(RuntimeError):
+    """Raised when a state-space build exceeds its configured state budget.
+
+    The benchmark harness converts this (together with wall-clock timeouts)
+    into the paper's "TO" table entries.
+    """
+
+
+@dataclass
+class LevelledSpace:
+    """The reachable state space of ``I_{E,F,P}`` organised by time level."""
+
+    model: BAModel
+    horizon: int
+    levels: List[List[GlobalState]] = field(default_factory=list)
+    index_of: List[Dict[GlobalState, int]] = field(default_factory=list)
+    actions: List[List[JointAction]] = field(default_factory=list)
+    successors: List[List[List[int]]] = field(default_factory=list)
+    max_states: Optional[int] = None
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def initial(
+        cls, model: BAModel, horizon: Optional[int] = None, max_states: Optional[int] = None
+    ) -> "LevelledSpace":
+        """Create a space containing only the initial level (time 0)."""
+        if horizon is None:
+            horizon = model.default_horizon()
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        space = cls(model=model, horizon=horizon, max_states=max_states)
+        level: List[GlobalState] = []
+        index: Dict[GlobalState, int] = {}
+        for state in model.initial_states():
+            if state not in index:
+                index[state] = len(level)
+                level.append(state)
+        space.levels.append(level)
+        space.index_of.append(index)
+        space._check_budget()
+        return space
+
+    def last_level(self) -> int:
+        """The index of the most recently built level."""
+        return len(self.levels) - 1
+
+    def is_complete(self) -> bool:
+        """True when every level up to the horizon has been built."""
+        return self.last_level() >= self.horizon
+
+    def set_actions(self, level: int, joint_actions: List[JointAction]) -> None:
+        """Record the joint action chosen at each state of ``level``."""
+        if level != len(self.actions):
+            raise ValueError(
+                f"actions must be set level by level (expected level {len(self.actions)},"
+                f" got {level})"
+            )
+        if len(joint_actions) != len(self.levels[level]):
+            raise ValueError("one joint action per state of the level is required")
+        self.actions.append(list(joint_actions))
+
+    def extend(self) -> int:
+        """Build the next level from the last level and its recorded actions.
+
+        Returns the index of the newly built level.
+        """
+        level = self.last_level()
+        if level >= self.horizon:
+            raise ValueError("space is already complete")
+        if len(self.actions) <= level:
+            raise ValueError("actions for the current level must be set before extending")
+
+        model = self.model
+        new_level: List[GlobalState] = []
+        new_index: Dict[GlobalState, int] = {}
+        edges: List[List[int]] = []
+        for state, joint_action in zip(self.levels[level], self.actions[level]):
+            targets: List[int] = []
+            seen: set = set()
+            for successor in model.successors(state, joint_action, level):
+                position = new_index.get(successor)
+                if position is None:
+                    position = len(new_level)
+                    new_index[successor] = position
+                    new_level.append(successor)
+                if position not in seen:
+                    seen.add(position)
+                    targets.append(position)
+            edges.append(targets)
+
+        self.levels.append(new_level)
+        self.index_of.append(new_index)
+        self.successors.append(edges)
+        self._check_budget()
+        return level + 1
+
+    def _check_budget(self) -> None:
+        if self.max_states is not None and self.num_states() > self.max_states:
+            raise SpaceBudgetExceeded(
+                f"state budget of {self.max_states} states exceeded "
+                f"({self.num_states()} states reached)"
+            )
+
+    # ------------------------------------------------------------------ access
+
+    def num_states(self) -> int:
+        """Total number of stored states across all built levels."""
+        return sum(len(level) for level in self.levels)
+
+    def num_points(self) -> int:
+        """Synonym for :meth:`num_states`; points are (time, state) pairs."""
+        return self.num_states()
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over every point of the built space."""
+        for time, level in enumerate(self.levels):
+            for index in range(len(level)):
+                yield (time, index)
+
+    def points_at(self, time: int) -> Iterator[Point]:
+        """Iterate over the points at a given time level."""
+        for index in range(len(self.levels[time])):
+            yield (time, index)
+
+    def state_at(self, point: Point) -> GlobalState:
+        """The global state at a point."""
+        time, index = point
+        return self.levels[time][index]
+
+    def action_at(self, point: Point) -> Optional[JointAction]:
+        """The joint action chosen at a point (``None`` if not yet set)."""
+        time, index = point
+        if time >= len(self.actions):
+            return None
+        return self.actions[time][index]
+
+    def successors_of(self, point: Point) -> List[Point]:
+        """Successor points (empty at the final built level)."""
+        time, index = point
+        if time >= len(self.successors):
+            return []
+        return [(time + 1, target) for target in self.successors[time][index]]
+
+    def observation(self, point: Point, agent: int) -> Tuple:
+        """The observation of ``agent`` at a point."""
+        return self.model.observation(self.state_at(point), agent)
+
+    def eval_atom(self, point: Point, key: Hashable) -> bool:
+        """Interpret an atomic proposition at a point."""
+        time, _ = point
+        return self.model.eval_atom(
+            self.state_at(point), time, key, joint_action=self.action_at(point)
+        )
+
+    def nonfaulty(self, point: Point, agent: int) -> bool:
+        """Whether ``agent`` is nonfaulty at a point."""
+        return self.model.nonfaulty(self.state_at(point), agent)
+
+    # ------------------------------------------------------- observation groups
+
+    def observation_groups(self, time: int, agent: int) -> Dict[Tuple, List[int]]:
+        """Group the states at ``time`` by the observation of ``agent``.
+
+        The groups are the clock-semantics indistinguishability classes for
+        the agent at that time.  Results are cached.
+        """
+        cache = getattr(self, "_group_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_group_cache", cache)
+        cache_key = (time, agent)
+        if cache_key in cache:
+            return cache[cache_key]
+        groups: Dict[Tuple, List[int]] = {}
+        for index, state in enumerate(self.levels[time]):
+            observation = self.model.observation(state, agent)
+            groups.setdefault(observation, []).append(index)
+        cache[cache_key] = groups
+        return groups
+
+    def invalidate_caches(self) -> None:
+        """Drop cached observation groups (after mutating the space)."""
+        if hasattr(self, "_group_cache"):
+            object.__setattr__(self, "_group_cache", {})
+
+
+# ---------------------------------------------------------------------------
+# Building a space from a decision protocol
+# ---------------------------------------------------------------------------
+
+#: A decision rule: (agent, local state, time) -> action.  The rule is only
+#: consulted for agents that have not decided and can still act.
+DecisionRule = Callable[[int, Tuple, int], Action]
+
+
+def noop_rule(agent: int, local: Tuple, time: int) -> Action:
+    """The decision rule that never decides (pure information exchange)."""
+    return NOOP
+
+
+def joint_actions_for_level(
+    space: LevelledSpace, level: int, rule: DecisionRule
+) -> List[JointAction]:
+    """Compute the joint action at every state of a level under ``rule``."""
+    model = space.model
+    joint_actions: List[JointAction] = []
+    for state in space.levels[level]:
+        actions: List[Action] = []
+        for agent in model.agents():
+            local = state.locals[agent]
+            if local.decided or not model.can_act(state, agent):
+                actions.append(NOOP)
+            else:
+                actions.append(rule(agent, local, level))
+        joint_actions.append(tuple(actions))
+    return joint_actions
+
+
+def build_space(
+    model: BAModel,
+    rule: Optional[DecisionRule] = None,
+    horizon: Optional[int] = None,
+    max_states: Optional[int] = None,
+) -> LevelledSpace:
+    """Build the complete levelled space of ``I_{E,F,P}`` for a decision rule.
+
+    Parameters
+    ----------
+    model:
+        The Byzantine-Agreement model ``(E, F)``.
+    rule:
+        The decision protocol ``P`` as a function of the agent's local state
+        and the time.  ``None`` means "never decide" and yields the pure
+        information-exchange system used for earliest-knowledge analyses.
+    horizon:
+        Number of rounds to model; defaults to ``t + 2``.
+    max_states:
+        Optional state budget; exceeding it raises
+        :class:`SpaceBudgetExceeded` (reported as "TO" by the harness).
+    """
+    if rule is None:
+        rule = noop_rule
+    space = LevelledSpace.initial(model, horizon=horizon, max_states=max_states)
+    for level in range(space.horizon + 1):
+        space.set_actions(level, joint_actions_for_level(space, level, rule))
+        if level < space.horizon:
+            space.extend()
+    return space

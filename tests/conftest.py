@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, fast model instances that many tests share;
+session scope keeps the state-space construction cost paid once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.factory import build_eba_model, build_sba_model
+from repro.core.synthesis import synthesize_eba, synthesize_sba
+
+
+@pytest.fixture(scope="session")
+def floodset_3_1_model():
+    """FloodSet, crash failures, n=3, t=1 (the paper's appendix instance)."""
+    return build_sba_model("floodset", num_agents=3, max_faulty=1)
+
+
+@pytest.fixture(scope="session")
+def floodset_3_2_model():
+    """FloodSet, crash failures, n=3, t=2 (the early-stopping counterexample)."""
+    return build_sba_model("floodset", num_agents=3, max_faulty=2)
+
+
+@pytest.fixture(scope="session")
+def count_3_2_model():
+    """Count-FloodSet, crash failures, n=3, t=2."""
+    return build_sba_model("count", num_agents=3, max_faulty=2)
+
+
+@pytest.fixture(scope="session")
+def floodset_3_1_synthesis(floodset_3_1_model):
+    """Synthesized SBA implementation for the appendix instance."""
+    return synthesize_sba(floodset_3_1_model)
+
+
+@pytest.fixture(scope="session")
+def floodset_3_2_synthesis(floodset_3_2_model):
+    """Synthesized SBA implementation for n=3, t=2."""
+    return synthesize_sba(floodset_3_2_model)
+
+
+@pytest.fixture(scope="session")
+def count_3_2_synthesis(count_3_2_model):
+    """Synthesized SBA implementation for the Count exchange, n=3, t=2."""
+    return synthesize_sba(count_3_2_model)
+
+
+@pytest.fixture(scope="session")
+def emin_3_1_model():
+    """E_min, sending omissions, n=3, t=1."""
+    return build_eba_model("emin", num_agents=3, max_faulty=1, failures="sending")
+
+
+@pytest.fixture(scope="session")
+def ebasic_3_1_model():
+    """E_basic, sending omissions, n=3, t=1."""
+    return build_eba_model("ebasic", num_agents=3, max_faulty=1, failures="sending")
+
+
+@pytest.fixture(scope="session")
+def emin_3_1_synthesis(emin_3_1_model):
+    """Synthesized EBA implementation for E_min, n=3, t=1."""
+    return synthesize_eba(emin_3_1_model)

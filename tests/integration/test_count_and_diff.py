@@ -1,0 +1,76 @@
+"""Integration tests: Count-FloodSet and Diff results (E5 and E6).
+
+Section 7.2: adding a count of the messages received in the last round gives
+agents extra knowledge — ``count <= 1`` is an immediate early exit — while
+``count <= 2`` does not suffice.  Section 7.3: additionally remembering the
+previous count gives no stronger SBA condition.
+"""
+
+import pytest
+
+from repro.analysis import (
+    check_count_le_two_insufficient,
+    check_diff_no_improvement,
+    count_condition_hypothesis,
+)
+from repro.core.synthesis import synthesize_sba
+from repro.factory import build_sba_model
+from repro.kbp import verify_sba_implementation
+from repro.protocols import CountConditionProtocol, FloodSetStandardProtocol
+
+
+class TestCountEarlyExit:
+    def test_count_le_one_enables_decision_at_time_one(self, count_3_2_synthesis):
+        predicate = count_3_2_synthesis.conditions.get(0, 1, 0)
+        positives = {
+            predicate.features_of[obs]["count"]
+            for obs in predicate.positive
+        }
+        assert positives  # the condition holds somewhere at time 1
+        assert positives <= {0, 1}  # ... and only where count <= 1
+
+    def test_count_le_two_is_not_sufficient(self, count_3_2_synthesis):
+        assert check_count_le_two_insufficient(count_3_2_synthesis)
+
+    def test_condition_three_hypothesis_confirmed(self, count_3_2_synthesis):
+        for value in range(2):
+            hypothesis = count_condition_hypothesis(3, 2, value)
+            report = count_3_2_synthesis.conditions.check_hypothesis(value, hypothesis)
+            assert report.confirmed, report.summary()
+
+    @pytest.mark.parametrize("num_agents,max_faulty", [(2, 1), (3, 1), (3, 2), (3, 3)])
+    def test_condition_three_across_instances(self, num_agents, max_faulty):
+        model = build_sba_model("count", num_agents=num_agents, max_faulty=max_faulty)
+        result = synthesize_sba(model)
+        for value in range(2):
+            hypothesis = count_condition_hypothesis(num_agents, max_faulty, value)
+            report = result.conditions.check_hypothesis(value, hypothesis)
+            assert report.confirmed, (num_agents, max_faulty, report.summary())
+
+    def test_count_protocol_is_an_optimal_implementation(self, count_3_2_model):
+        report = verify_sba_implementation(count_3_2_model, CountConditionProtocol(3, 2))
+        assert report.ok, report.summary()
+
+    def test_plain_t_plus_one_rule_is_late_for_count_exchange(self, count_3_2_model):
+        report = verify_sba_implementation(
+            count_3_2_model, FloodSetStandardProtocol(3, 2)
+        )
+        assert report.is_sound
+        assert not report.is_optimal
+
+
+class TestDiffNoImprovement:
+    @pytest.mark.parametrize("num_agents,max_faulty", [(2, 1), (2, 2), (3, 1), (3, 2)])
+    def test_diff_condition_projects_onto_count_condition(self, num_agents, max_faulty):
+        diff_model = build_sba_model("diff", num_agents=num_agents, max_faulty=max_faulty)
+        count_model = build_sba_model(
+            "count", num_agents=num_agents, max_faulty=max_faulty
+        )
+        diff_result = synthesize_sba(diff_model)
+        count_result = synthesize_sba(count_model)
+        assert check_diff_no_improvement(diff_result, count_result)
+
+    def test_diff_early_exit_protocol_remains_optimal(self):
+        model = build_sba_model("diff", num_agents=3, max_faulty=2)
+        report = verify_sba_implementation(model, CountConditionProtocol(3, 2))
+        assert report.ok, report.summary()

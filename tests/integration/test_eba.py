@@ -1,0 +1,147 @@
+"""Integration tests: EBA protocols and synthesis (E8).
+
+Section 9 of the paper: the implementations of the knowledge-based program
+``P0`` for the exchanges ``E_min`` and ``E_basic`` are correct EBA protocols
+for the sending-omissions model (which subsumes crash failures), and the
+``num1`` counter of ``E_basic`` enables earlier decisions on 1.
+"""
+
+import pytest
+
+from repro.core.checker import ModelChecker
+from repro.core.synthesis import synthesize_eba
+from repro.factory import build_eba_model
+from repro.kbp import verify_eba_implementation
+from repro.protocols import EBasicProtocol, EMinProtocol
+from repro.spec.eba import check_eba_run, eba_spec_formulas
+from repro.spec.optimality import compare_protocols, never_later
+from repro.systems.runs import (
+    OmissionAdversary,
+    enumerate_omission_adversaries,
+    simulate_run,
+)
+from repro.systems.space import build_space
+
+
+def _protocol_for(exchange: str, num_agents: int, max_faulty: int):
+    if exchange == "emin":
+        return EMinProtocol(num_agents, max_faulty)
+    return EBasicProtocol(num_agents, max_faulty)
+
+
+@pytest.mark.parametrize("exchange", ["emin", "ebasic"])
+@pytest.mark.parametrize("failures", ["crash", "sending"])
+@pytest.mark.parametrize("num_agents,max_faulty", [(2, 1), (3, 1), (3, 2)])
+class TestLiteratureProtocolsSatisfyEBA:
+    def test_spec_formulas_hold(self, exchange, failures, num_agents, max_faulty):
+        model = build_eba_model(
+            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        )
+        protocol = _protocol_for(exchange, num_agents, max_faulty)
+        space = build_space(model, protocol)
+        checker = ModelChecker(space)
+        for name, formula in eba_spec_formulas(model, space.horizon).items():
+            assert checker.holds_initially(formula), (exchange, failures, name)
+
+    def test_decisions_are_sound_for_p0(self, exchange, failures, num_agents, max_faulty):
+        model = build_eba_model(
+            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        )
+        protocol = _protocol_for(exchange, num_agents, max_faulty)
+        report = verify_eba_implementation(model, protocol)
+        assert report.is_sound, report.summary()
+
+
+class TestExactImplementationInstances:
+    """For ``t < n - 1`` the literature rules coincide with the implementation."""
+
+    @pytest.mark.parametrize("exchange", ["emin", "ebasic"])
+    @pytest.mark.parametrize("failures", ["crash", "sending"])
+    def test_n3_t1_is_exact(self, exchange, failures):
+        model = build_eba_model(exchange, num_agents=3, max_faulty=1, failures=failures)
+        protocol = _protocol_for(exchange, 3, 1)
+        report = verify_eba_implementation(model, protocol)
+        assert report.ok, report.summary()
+
+
+class TestRunLevelBehaviour:
+    def test_zero_propagates_through_decisions(self):
+        model = build_eba_model("emin", num_agents=3, max_faulty=1, failures="sending")
+        protocol = EMinProtocol(3, 1)
+        adversary = OmissionAdversary(faulty=frozenset(), omitted=frozenset())
+        run = simulate_run(model, protocol, (1, 0, 1), adversary)
+        assert run.decision_value(0) == 0
+        assert run.decision_time(1) == 0  # the 0-holder decides immediately
+        assert run.decision_time(0) == 1  # the others follow one round later
+
+    def test_all_ones_ebasic_decides_earlier_than_emin(self):
+        emin_model = build_eba_model("emin", num_agents=3, max_faulty=2, failures="sending")
+        ebasic_model = build_eba_model(
+            "ebasic", num_agents=3, max_faulty=2, failures="sending"
+        )
+        adversary = OmissionAdversary()
+        emin_run = simulate_run(emin_model, EMinProtocol(3, 2), (1, 1, 1), adversary)
+        ebasic_run = simulate_run(ebasic_model, EBasicProtocol(3, 2), (1, 1, 1), adversary)
+        # E_min must wait for t+1 = 3; E_basic sees num1 = 3 > 3 - 1 at time 1.
+        assert emin_run.decision_time(0) == 3
+        assert ebasic_run.decision_time(0) == 1
+
+    @pytest.mark.parametrize("exchange", ["emin", "ebasic"])
+    def test_exhaustive_small_omission_runs_are_correct(self, exchange):
+        model = build_eba_model(exchange, num_agents=2, max_faulty=1, failures="sending")
+        protocol = _protocol_for(exchange, 2, 1)
+        horizon = model.default_horizon()
+        adversaries = enumerate_omission_adversaries(
+            model.failures, horizon, limit=2000
+        )
+        for adversary in adversaries:
+            for votes in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+                run = simulate_run(model, protocol, votes, adversary, horizon)
+                report = check_eba_run(run, model, horizon)
+                assert report.ok, [v.detail for v in report.violations]
+
+
+class TestEBASynthesis:
+    def test_synthesis_converges(self, emin_3_1_synthesis):
+        assert emin_3_1_synthesis.converged
+        assert emin_3_1_synthesis.iterations <= 4
+
+    def test_synthesized_space_satisfies_eba_spec(self, emin_3_1_synthesis):
+        checker = ModelChecker(emin_3_1_synthesis.space)
+        model = emin_3_1_synthesis.model
+        formulas = eba_spec_formulas(model, emin_3_1_synthesis.space.horizon)
+        # Termination is not part of P0 itself (it is guaranteed only through
+        # the decide-1 clause); agreement and validity must hold.
+        assert checker.holds_initially(formulas["agreement"])
+        assert checker.holds_initially(formulas["validity"])
+
+    def test_synthesized_rule_is_an_implementation(self, emin_3_1_synthesis):
+        report = verify_eba_implementation(
+            emin_3_1_synthesis.model, emin_3_1_synthesis.rule
+        )
+        assert report.ok, report.summary()
+
+    def test_synthesized_rule_never_decides_later_than_literature(
+        self, emin_3_1_model, emin_3_1_synthesis
+    ):
+        adversaries = enumerate_omission_adversaries(
+            emin_3_1_model.failures, emin_3_1_model.default_horizon(), limit=500
+        )
+        report = compare_protocols(
+            emin_3_1_model,
+            emin_3_1_synthesis.rule,
+            EMinProtocol(3, 1),
+            adversaries,
+        )
+        assert never_later(report)
+
+    def test_decide_zero_condition_matches_init_or_jd(self, emin_3_1_synthesis):
+        conditions = emin_3_1_synthesis.conditions
+        for time in range(1, emin_3_1_synthesis.space.horizon + 1):
+            predicate = conditions.get(0, time, "decide0")
+            for observation in predicate.reachable:
+                init, decided, _, jd = observation
+                if decided:
+                    continue
+                expected = init == 0 or jd == 0
+                assert predicate.holds(observation) == expected, (time, observation)

@@ -1,0 +1,118 @@
+r"""Property-based tests: knowledge axioms and semantic invariants.
+
+These properties must hold for *any* model under the clock semantics:
+
+* truthfulness of knowledge (axiom T): ``K_i phi -> phi``,
+* positive introspection at the semantic level: the satisfaction set of
+  ``K_i phi`` is a union of observation groups,
+* ``CB_N phi  ->  EB_N phi  ->  B^N_i phi`` for nonfaulty ``i``,
+* common belief is a fixed point of ``EB_N (phi /\ .)``,
+* monotonicity of the knowledge operators.
+
+Random propositional formulas over the model's atoms are generated with
+hypothesis and evaluated on a small FloodSet space.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import ModelChecker
+from repro.factory import build_sba_model
+from repro.logic.atoms import decided, exists_value, init_is, nonfaulty
+from repro.logic.builders import big_and, big_or, neg
+from repro.logic.formula import (
+    CommonBelief,
+    EveryoneBelieves,
+    Knows,
+    KnowsNonfaulty,
+)
+from repro.protocols.sba import FloodSetStandardProtocol
+from repro.systems.space import build_space
+
+_MODEL = build_sba_model("floodset", num_agents=3, max_faulty=2)
+_SPACE = build_space(_MODEL, FloodSetStandardProtocol(3, 2))
+_CHECKER = ModelChecker(_SPACE)
+
+_ATOMS = st.sampled_from(
+    [init_is(agent, value) for agent in range(3) for value in range(2)]
+    + [exists_value(0), exists_value(1)]
+    + [decided(agent) for agent in range(3)]
+    + [nonfaulty(agent) for agent in range(3)]
+)
+
+
+@st.composite
+def formulas(draw, max_depth: int = 3):
+    """Random propositional formulas over the model's atoms."""
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    if depth == 0:
+        return draw(_ATOMS)
+    shape = draw(st.sampled_from(["not", "and", "or"]))
+    if shape == "not":
+        return neg(draw(formulas(max_depth=depth - 1)))
+    left = draw(formulas(max_depth=depth - 1))
+    right = draw(formulas(max_depth=depth - 1))
+    return big_and([left, right]) if shape == "and" else big_or([left, right])
+
+
+agents = st.integers(min_value=0, max_value=2)
+
+
+@given(agent=agents, formula=formulas())
+@settings(max_examples=60, deadline=None)
+def test_knowledge_is_truthful(agent, formula):
+    sat_k = _CHECKER.check(Knows(agent, formula))
+    sat = _CHECKER.check(formula)
+    for time in range(len(_SPACE.levels)):
+        assert sat_k[time] <= sat[time]
+
+
+@given(agent=agents, formula=formulas())
+@settings(max_examples=40, deadline=None)
+def test_knowledge_is_constant_on_observation_groups(agent, formula):
+    sat_k = _CHECKER.check(Knows(agent, formula))
+    for time in range(len(_SPACE.levels)):
+        for members in _SPACE.observation_groups(time, agent).values():
+            inside = [index in sat_k[time] for index in members]
+            assert all(inside) or not any(inside)
+
+
+@given(agent=agents, formula=formulas())
+@settings(max_examples=40, deadline=None)
+def test_common_belief_implies_everyone_believes_implies_belief(agent, formula):
+    cb = _CHECKER.check(CommonBelief(formula))
+    eb = _CHECKER.check(EveryoneBelieves(formula))
+    belief = _CHECKER.check(KnowsNonfaulty(agent, formula))
+    for time in range(len(_SPACE.levels)):
+        assert cb[time] <= eb[time]
+        for index in eb[time]:
+            if _SPACE.nonfaulty((time, index), agent):
+                assert index in belief[time]
+
+
+@given(formula=formulas())
+@settings(max_examples=40, deadline=None)
+def test_common_belief_is_a_fixed_point(formula):
+    cb_formula = CommonBelief(formula)
+    cb = _CHECKER.check(cb_formula)
+    unfolded = _CHECKER.check(EveryoneBelieves(big_and([formula, cb_formula])))
+    assert cb == unfolded
+
+
+@given(agent=agents, left=formulas(), right=formulas())
+@settings(max_examples=40, deadline=None)
+def test_knowledge_distributes_over_conjunction(agent, left, right):
+    conj = _CHECKER.check(Knows(agent, big_and([left, right])))
+    separately = [
+        a & b
+        for a, b in zip(_CHECKER.check(Knows(agent, left)), _CHECKER.check(Knows(agent, right)))
+    ]
+    assert conj == separately
+
+
+@given(agent=agents, formula=formulas())
+@settings(max_examples=40, deadline=None)
+def test_belief_relative_to_nonfaulty_is_weaker_than_knowledge(agent, formula):
+    knowledge = _CHECKER.check(Knows(agent, formula))
+    belief = _CHECKER.check(KnowsNonfaulty(agent, formula))
+    for time in range(len(_SPACE.levels)):
+        assert knowledge[time] <= belief[time]

@@ -1,0 +1,129 @@
+"""Property-based tests: protocol correctness over random failure patterns.
+
+For randomly drawn initial preferences and adversaries, the literature
+protocols must satisfy their specifications on the induced run, and the
+optimal (revised) protocols must never decide later than the standard ones on
+corresponding runs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.factory import build_eba_model, build_sba_model
+from repro.protocols import (
+    CountConditionProtocol,
+    DworkMosesProtocol,
+    EBasicProtocol,
+    EMinProtocol,
+    FloodSetRevisedProtocol,
+    FloodSetStandardProtocol,
+)
+from repro.spec.eba import check_eba_run
+from repro.spec.sba import check_sba_run
+from repro.systems.runs import sample_adversary, simulate_run
+
+_SBA_CASES = {
+    (exchange, n, t): build_sba_model(exchange, num_agents=n, max_faulty=t)
+    for exchange in ("floodset", "count", "dwork-moses")
+    for (n, t) in [(3, 1), (3, 2), (4, 2)]
+}
+
+_EBA_CASES = {
+    (exchange, n, t, failures): build_eba_model(
+        exchange, num_agents=n, max_faulty=t, failures=failures
+    )
+    for exchange in ("emin", "ebasic")
+    for (n, t) in [(3, 1), (3, 2), (4, 2)]
+    for failures in ("crash", "sending")
+}
+
+
+def _sba_protocol(exchange, n, t):
+    if exchange == "floodset":
+        return FloodSetRevisedProtocol(n, t)
+    if exchange == "count":
+        return CountConditionProtocol(n, t)
+    return DworkMosesProtocol(n, t)
+
+
+@given(
+    case=st.sampled_from(sorted(_SBA_CASES)),
+    seed=st.integers(min_value=0, max_value=10_000),
+    votes_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_sba_protocols_are_correct_on_random_runs(case, seed, votes_seed):
+    exchange, n, t = case
+    model = _SBA_CASES[case]
+    protocol = _sba_protocol(exchange, n, t)
+    horizon = model.default_horizon()
+    rng = random.Random(seed)
+    adversary = sample_adversary(model.failures, horizon, rng)
+    votes_rng = random.Random(votes_seed)
+    votes = tuple(votes_rng.randint(0, 1) for _ in range(n))
+    run = simulate_run(model, protocol, votes, adversary, horizon)
+    report = check_sba_run(run, model, horizon)
+    assert report.ok, [violation.detail for violation in report.violations]
+
+
+@given(
+    case=st.sampled_from(sorted(_EBA_CASES)),
+    seed=st.integers(min_value=0, max_value=10_000),
+    votes_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_eba_protocols_are_correct_on_random_runs(case, seed, votes_seed):
+    exchange, n, t, failures = case
+    model = _EBA_CASES[case]
+    protocol = EMinProtocol(n, t) if exchange == "emin" else EBasicProtocol(n, t)
+    horizon = model.default_horizon()
+    rng = random.Random(seed)
+    adversary = sample_adversary(model.failures, horizon, rng)
+    votes_rng = random.Random(votes_seed)
+    votes = tuple(votes_rng.randint(0, 1) for _ in range(n))
+    run = simulate_run(model, protocol, votes, adversary, horizon)
+    report = check_eba_run(run, model, horizon)
+    assert report.ok, [violation.detail for violation in report.violations]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    votes_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_revised_floodset_never_decides_later_than_standard(seed, votes_seed):
+    model = _SBA_CASES[("floodset", 3, 2)]
+    horizon = model.default_horizon()
+    rng = random.Random(seed)
+    adversary = sample_adversary(model.failures, horizon, rng)
+    votes_rng = random.Random(votes_seed)
+    votes = tuple(votes_rng.randint(0, 1) for _ in range(3))
+    revised = simulate_run(model, FloodSetRevisedProtocol(3, 2), votes, adversary, horizon)
+    standard = simulate_run(
+        model, FloodSetStandardProtocol(3, 2), votes, adversary, horizon
+    )
+    for agent in adversary.correct_agents(3):
+        revised_time = revised.decision_time(agent)
+        standard_time = standard.decision_time(agent)
+        if standard_time is not None:
+            assert revised_time is not None and revised_time <= standard_time
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    votes_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_agreement_values_come_from_votes_even_for_faulty_deciders(seed, votes_seed):
+    """Uniform validity: every decided value (even a faulty agent's) is a vote."""
+    model = _SBA_CASES[("count", 4, 2)]
+    horizon = model.default_horizon()
+    rng = random.Random(seed)
+    adversary = sample_adversary(model.failures, horizon, rng)
+    votes_rng = random.Random(votes_seed)
+    votes = tuple(votes_rng.randint(0, 1) for _ in range(4))
+    run = simulate_run(model, CountConditionProtocol(4, 2), votes, adversary, horizon)
+    for agent in range(4):
+        if run.decided(agent):
+            assert run.decision_value(agent) in votes

@@ -1,0 +1,241 @@
+"""Unit tests for the epistemic model checker."""
+
+import pytest
+
+from repro.core.checker import ModelChecker
+from repro.factory import build_sba_model
+from repro.logic.atoms import (
+    decided,
+    decides_now,
+    exists_value,
+    init_is,
+    nonfaulty,
+    obs_feature,
+    time_is,
+)
+from repro.logic.builders import big_and, big_or, common_belief_exists, implies, neg
+from repro.logic.formula import (
+    Always,
+    Atom,
+    Bottom,
+    CommonBelief,
+    EvAlways,
+    EvEventually,
+    EvNext,
+    EveryoneBelieves,
+    Eventually,
+    Iff,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Nu,
+    Top,
+    Var,
+)
+from repro.protocols.sba import FloodSetStandardProtocol
+from repro.systems.space import build_space
+
+
+@pytest.fixture(scope="module")
+def space():
+    """FloodSet n=2, t=1 under the standard protocol (fast, small)."""
+    model = build_sba_model("floodset", num_agents=2, max_faulty=1)
+    return build_space(model, FloodSetStandardProtocol(2, 1))
+
+
+@pytest.fixture(scope="module")
+def checker(space):
+    return ModelChecker(space)
+
+
+class TestPropositional:
+    def test_top_and_bottom(self, checker, space):
+        assert checker.holds_everywhere(Top())
+        assert checker.counterexamples(Bottom())  # fails everywhere
+        assert not checker.holds_initially(Bottom())
+
+    def test_atom_evaluation(self, checker):
+        # Exactly half of the four initial states have agent 0 voting 0.
+        sat = checker.check(init_is(0, 0))
+        assert len(sat[0]) == 2
+
+    def test_negation_partitions_the_level(self, checker, space):
+        positive = checker.check(init_is(0, 0))
+        negative = checker.check(neg(init_is(0, 0)))
+        for time in range(len(space.levels)):
+            assert positive[time] | negative[time] == set(range(len(space.levels[time])))
+            assert not positive[time] & negative[time]
+
+    def test_conjunction_disjunction_implication(self, checker):
+        both_zero = big_and([init_is(0, 0), init_is(1, 0)])
+        some_zero = big_or([init_is(0, 0), init_is(1, 0)])
+        assert len(checker.check(both_zero)[0]) == 1
+        assert len(checker.check(some_zero)[0]) == 3
+        assert checker.holds_everywhere(implies(both_zero, some_zero))
+
+    def test_iff_reflexive(self, checker):
+        formula = Iff(exists_value(0), exists_value(0))
+        assert checker.holds_everywhere(formula)
+
+    def test_exists_value_matches_disjunction_of_inits(self, checker, space):
+        explicit = big_or([init_is(0, 1), init_is(1, 1)])
+        assert checker.check(exists_value(1)) == checker.check(explicit)
+
+    def test_time_atom(self, checker, space):
+        sat = checker.check(time_is(1))
+        for time in range(len(space.levels)):
+            expected = set(range(len(space.levels[time]))) if time == 1 else set()
+            assert sat[time] == expected
+
+    def test_unbound_variable_raises(self, checker):
+        with pytest.raises(ValueError):
+            checker.check(Var("X"))
+
+    def test_unknown_node_type_rejected(self, checker):
+        class Strange(Atom):
+            pass
+
+        # Subclasses of known nodes still work; a totally foreign object fails.
+        class NotAFormula:
+            pass
+
+        with pytest.raises((TypeError, AttributeError)):
+            checker._eval_uncached(NotAFormula(), {})
+
+
+class TestEpistemic:
+    def test_knowledge_is_truthful(self, checker, space):
+        # K_i(phi) => phi at every point (axiom T under any semantics).
+        for formula in (exists_value(0), decided(0), nonfaulty(1)):
+            knows = Knows(0, formula)
+            sat_k = checker.check(knows)
+            sat_phi = checker.check(formula)
+            for time in range(len(space.levels)):
+                assert sat_k[time] <= sat_phi[time]
+
+    def test_agents_know_their_own_observations(self, checker, space):
+        # If agent 0 has seen value 0 it knows it (the observation contains it).
+        seen = obs_feature(0, "values_received[0]", True)
+        assert checker.check(Knows(0, seen)) == checker.check(seen)
+
+    def test_agents_do_not_know_others_initial_values_at_time_zero(self, checker):
+        knows_other = Knows(0, init_is(1, 0))
+        assert not checker.check(knows_other)[0]
+
+    def test_belief_is_knowledge_relativised_to_nonfaulty(self, checker, space):
+        phi = exists_value(0)
+        belief = checker.check(KnowsNonfaulty(0, phi))
+        explicit = checker.check(Knows(0, implies(nonfaulty(0), phi)))
+        assert belief == explicit
+
+    def test_everyone_believes_implies_individual_belief_for_nonfaulty(
+        self, checker, space
+    ):
+        phi = exists_value(0)
+        everyone = checker.check(EveryoneBelieves(phi))
+        individual = checker.check(KnowsNonfaulty(0, phi))
+        for time in range(len(space.levels)):
+            for index in everyone[time]:
+                if space.nonfaulty((time, index), 0):
+                    assert index in individual[time]
+
+    def test_common_belief_is_a_fixpoint_of_eb(self, checker, space):
+        phi = exists_value(0)
+        cb = CommonBelief(phi)
+        unfolded = EveryoneBelieves(big_and([phi, cb]))
+        assert checker.check(cb) == checker.check(unfolded)
+
+    def test_common_belief_implies_everyone_believes(self, checker, space):
+        phi = exists_value(0)
+        cb = checker.check(CommonBelief(phi))
+        eb = checker.check(EveryoneBelieves(phi))
+        for time in range(len(space.levels)):
+            assert cb[time] <= eb[time]
+
+    def test_common_belief_matches_explicit_nu_formula(self, checker):
+        phi = exists_value(0)
+        explicit = Nu("X", EveryoneBelieves(big_and([phi, Var("X")])))
+        assert checker.check(CommonBelief(phi)) == checker.check(explicit)
+
+    def test_nu_of_identity_is_everything(self, checker, space):
+        assert checker.check(Nu("X", Var("X"))) == [
+            set(range(len(level))) for level in space.levels
+        ]
+
+    def test_satisfying_observations_for_decision_condition(self, checker, space):
+        condition = common_belief_exists(0, 0)
+        observations = checker.satisfying_observations(condition, 2, 0)
+        # At time t+1 = 2 the condition is equivalent to having seen value 0.
+        expected = {
+            observation
+            for observation in space.observation_groups(2, 0)
+            if observation[0][0]
+        }
+        assert observations == expected
+
+
+class TestTemporal:
+    def test_ax_true_everywhere(self, checker):
+        assert checker.holds_everywhere(Next(Top()))
+
+    def test_ag_conjunction_of_levels(self, checker, space):
+        # AG(exists_value(0) \/ exists_value(1)) holds: votes always exist.
+        formula = Always(big_or([exists_value(0), exists_value(1)]))
+        assert checker.holds_everywhere(formula)
+
+    def test_ef_decided_holds_initially(self, checker):
+        # Under the standard protocol somebody decides on every path.
+        someone_decided = big_or([decided(0), decided(1)])
+        assert checker.holds_initially(EvEventually(someone_decided))
+
+    def test_af_vs_ef_and_ax_vs_ex(self, checker, space):
+        someone_decided = big_or([decided(0), decided(1)])
+        af = checker.check(Eventually(someone_decided))
+        ef = checker.check(EvEventually(someone_decided))
+        ax = checker.check(Next(someone_decided))
+        ex = checker.check(EvNext(someone_decided))
+        for time in range(len(space.levels)):
+            assert af[time] <= ef[time]
+            assert ax[time] <= ex[time]
+
+    def test_eg_implies_ef(self, checker, space):
+        phi = exists_value(0)
+        eg = checker.check(EvAlways(phi))
+        ef = checker.check(EvEventually(phi))
+        for time in range(len(space.levels)):
+            assert eg[time] <= ef[time]
+
+    def test_final_level_is_absorbing(self, checker, space):
+        # At the last level AX phi == phi (self loop).
+        phi = decided(0)
+        ax = checker.check(Next(phi))
+        base = checker.check(phi)
+        last = len(space.levels) - 1
+        assert ax[last] == base[last]
+
+    def test_nobody_decides_before_t_plus_one(self, checker, space):
+        # Under the standard protocol, decides_now only at time t+1 = 2.
+        someone_decides = big_or(
+            [decides_now(0, v) for v in (0, 1)] + [decides_now(1, v) for v in (0, 1)]
+        )
+        sat = checker.check(someone_decides)
+        assert not sat[0] and not sat[1]
+        assert sat[2]
+
+    def test_decided_is_monotone_along_paths(self, checker, space):
+        # Once decided, always decided: AG(decided -> AG decided).
+        formula = Always(implies(decided(0), Always(decided(0))))
+        assert checker.holds_everywhere(formula)
+
+
+class TestCaching:
+    def test_check_results_are_cached_and_consistent(self, space):
+        local_checker = ModelChecker(space)
+        formula = CommonBelief(exists_value(0))
+        first = local_checker.check(formula)
+        second = local_checker.check(formula)
+        assert first is second  # cached object
+
+    def test_holds_at_specific_point(self, checker, space):
+        assert checker.holds_at(Top(), (0, 0))
+        assert not checker.holds_at(Bottom(), (0, 0))

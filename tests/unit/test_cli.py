@@ -1,0 +1,87 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_commands_have_budget_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--max-n", "3", "--timeout", "5"])
+        assert args.command == "table1"
+        assert args.max_n == 3
+        assert args.timeout == 5.0
+
+    def test_synthesize_command_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["synthesize", "--exchange", "floodset", "--agents", "3", "--faulty", "1"]
+        )
+        assert args.exchange == "floodset"
+        assert args.agents == 3
+
+    def test_missing_command_errors(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+
+class TestCommands:
+    def test_synthesize_sba_prints_conditions(self, capsys):
+        code = main(
+            ["synthesize", "--exchange", "floodset", "--agents", "3", "--faulty", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "values_received[0]" in captured.out
+
+    def test_synthesize_eba_prints_conditions(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--exchange",
+                "emin",
+                "--agents",
+                "2",
+                "--faulty",
+                "1",
+                "--failures",
+                "sending",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "decide0" in captured.out or "decide" in captured.out
+
+    def test_synthesize_unknown_exchange_fails(self, capsys):
+        code = main(
+            ["synthesize", "--exchange", "bogus", "--agents", "2", "--faulty", "1"]
+        )
+        assert code == 2
+
+    def test_check_command_reports_result(self, capsys):
+        code = main(
+            [
+                "check",
+                "--exchange",
+                "floodset",
+                "--agents",
+                "3",
+                "--faulty",
+                "2",
+                "--timeout",
+                "120",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "optimal" in captured.out
+        assert "False" in captured.out  # the standard protocol is not optimal
+
+    def test_table_command_small_grid(self, capsys):
+        code = main(["table1", "--max-n", "2", "--timeout", "60", "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Table 1" in captured.out
+        assert "floodset-synth" in captured.out

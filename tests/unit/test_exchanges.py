@@ -1,0 +1,198 @@
+"""Unit tests for the information-exchange protocols."""
+
+import pytest
+
+from repro.exchanges import (
+    CountFloodSetExchange,
+    DiffFloodSetExchange,
+    DworkMosesExchange,
+    EBasicExchange,
+    EMinExchange,
+    FloodSetExchange,
+    exchange_by_name,
+)
+from repro.exchanges.eba_min import just_decided_value
+from repro.systems.actions import NOOP
+
+
+class TestFloodSet:
+    def setup_method(self):
+        self.exchange = FloodSetExchange(num_agents=3, num_values=2, max_faulty=1)
+
+    def test_initial_local_marks_own_value(self):
+        local = self.exchange.initial_local(0, 1)
+        assert local.init == 1
+        assert local.seen == (False, True)
+        assert not local.decided and local.decision is None
+
+    def test_message_is_seen_array(self):
+        local = self.exchange.initial_local(0, 0)
+        assert self.exchange.message(0, local, NOOP, 0) == (True, False)
+
+    def test_update_unions_received_sets(self):
+        local = self.exchange.initial_local(0, 0)
+        received = {0: (True, False), 1: (False, True)}
+        updated = self.exchange.update(0, local, NOOP, received, 0)
+        assert updated.seen == (True, True)
+
+    def test_update_without_messages_keeps_state(self):
+        local = self.exchange.initial_local(0, 0)
+        updated = self.exchange.update(0, local, NOOP, {}, 0)
+        assert updated.seen == local.seen
+
+    def test_observation_and_features(self):
+        local = self.exchange.initial_local(1, 1)
+        assert self.exchange.observation(1, local) == ((False, True),)
+        features = self.exchange.observation_features(1, local)
+        assert features == {"values_received[0]": False, "values_received[1]": True}
+
+    def test_default_horizon_is_t_plus_2(self):
+        assert self.exchange.default_horizon() == 3
+
+
+class TestCountAndDiff:
+    def test_count_starts_at_n_and_tracks_received(self):
+        exchange = CountFloodSetExchange(num_agents=4, num_values=2, max_faulty=2)
+        local = exchange.initial_local(0, 0)
+        assert local.count == 4
+        updated = exchange.update(0, local, NOOP, {0: (True, False), 2: (False, True)}, 0)
+        assert updated.count == 2
+        assert updated.seen == (True, True)
+
+    def test_count_observation_includes_count(self):
+        exchange = CountFloodSetExchange(num_agents=3, num_values=2, max_faulty=1)
+        local = exchange.initial_local(0, 1)
+        assert exchange.observation(0, local) == ((False, True), 3)
+        assert exchange.observation_features(0, local)["count"] == 3
+
+    def test_diff_remembers_previous_count(self):
+        exchange = DiffFloodSetExchange(num_agents=3, num_values=2, max_faulty=1)
+        local = exchange.initial_local(0, 0)
+        assert local.count == 3 and local.prev_count == 3
+        first = exchange.update(0, local, NOOP, {0: (True, False), 1: (True, False)}, 0)
+        assert first.count == 2 and first.prev_count == 3
+        second = exchange.update(0, first, NOOP, {0: (True, False)}, 1)
+        assert second.count == 1 and second.prev_count == 2
+
+    def test_diff_features_expose_both_counts(self):
+        exchange = DiffFloodSetExchange(num_agents=3, num_values=2, max_faulty=1)
+        local = exchange.initial_local(0, 0)
+        features = exchange.observation_features(0, local)
+        assert features["count"] == 3 and features["prev_count"] == 3
+
+
+class TestDworkMoses:
+    def setup_method(self):
+        self.exchange = DworkMosesExchange(num_agents=3, num_values=2, max_faulty=2)
+
+    def test_requires_binary_values(self):
+        with pytest.raises(ValueError):
+            DworkMosesExchange(num_agents=3, num_values=3, max_faulty=1)
+
+    def test_initial_exists0_tracks_vote(self):
+        assert self.exchange.initial_local(0, 0).exists0
+        assert not self.exchange.initial_local(0, 1).exists0
+
+    def test_message_carries_newly_faulty_and_exists0(self):
+        local = self.exchange.initial_local(0, 0)
+        assert self.exchange.message(0, local, NOOP, 0) == (frozenset(), True)
+
+    def test_silent_agents_are_detected_as_faulty(self):
+        local = self.exchange.initial_local(0, 1)
+        received = {
+            0: (frozenset(), False),
+            1: (frozenset(), False),
+        }  # nothing from agent 2
+        updated = self.exchange.update(0, local, NOOP, received, 0)
+        assert updated.known_faulty == frozenset({2})
+        assert updated.newly_faulty == frozenset({2})
+        assert updated.waste == 0  # one failure in round 1: 1 - 1 = 0
+
+    def test_reported_faults_are_merged(self):
+        local = self.exchange.initial_local(0, 1)
+        received = {
+            0: (frozenset(), False),
+            1: (frozenset({2}), False),
+            2: (frozenset(), False),
+        }
+        updated = self.exchange.update(0, local, NOOP, received, 0)
+        assert updated.known_faulty == frozenset({2})
+
+    def test_exists0_propagates_through_messages(self):
+        local = self.exchange.initial_local(0, 1)
+        received = {0: (frozenset(), False), 1: (frozenset(), True), 2: (frozenset(), False)}
+        updated = self.exchange.update(0, local, NOOP, received, 0)
+        assert updated.exists0
+
+    def test_waste_counts_failures_beyond_rounds(self):
+        local = self.exchange.initial_local(0, 1)
+        received = {0: (frozenset(), False)}  # two silent agents in round 1
+        updated = self.exchange.update(0, local, NOOP, received, 0)
+        assert updated.known_faulty == frozenset({1, 2})
+        assert updated.waste == 1  # 2 failures known by end of round 1
+
+
+class TestEBAExchanges:
+    def test_emin_requires_binary_values(self):
+        with pytest.raises(ValueError):
+            EMinExchange(num_agents=2, num_values=3, max_faulty=1)
+
+    def test_emin_sends_only_on_decision(self):
+        exchange = EMinExchange(num_agents=3, num_values=2, max_faulty=1)
+        local = exchange.initial_local(0, 1)
+        assert exchange.message(0, local, NOOP, 0) is None
+        assert exchange.message(0, local, 0, 0) == ("decide", 0)
+
+    def test_emin_jd_prefers_zero(self):
+        assert just_decided_value([("decide", 1), ("decide", 0)]) == 0
+        assert just_decided_value([("decide", 1)]) == 1
+        assert just_decided_value([]) is None
+
+    def test_emin_update_sets_jd(self):
+        exchange = EMinExchange(num_agents=3, num_values=2, max_faulty=1)
+        local = exchange.initial_local(0, 1)
+        updated = exchange.update(0, local, NOOP, {1: ("decide", 0)}, 0)
+        assert updated.jd == 0
+        cleared = exchange.update(0, updated, NOOP, {}, 1)
+        assert cleared.jd is None
+
+    def test_ebasic_messages_depend_on_init_and_action(self):
+        exchange = EBasicExchange(num_agents=3, num_values=2, max_faulty=1)
+        one = exchange.initial_local(0, 1)
+        zero = exchange.initial_local(1, 0)
+        assert exchange.message(0, one, NOOP, 0) == ("init", 1)
+        assert exchange.message(1, zero, NOOP, 0) is None
+        assert exchange.message(1, zero, 0, 0) == ("decide", 0)
+
+    def test_ebasic_update_counts_init_one_messages(self):
+        exchange = EBasicExchange(num_agents=4, num_values=2, max_faulty=1)
+        local = exchange.initial_local(0, 1)
+        received = {0: ("init", 1), 1: ("init", 1), 2: ("decide", 0)}
+        updated = exchange.update(0, local, NOOP, received, 0)
+        assert updated.num1 == 2
+        assert updated.jd == 0
+
+
+class TestRegistry:
+    def test_exchange_by_name_builds_each_exchange(self):
+        for name, cls in [
+            ("floodset", FloodSetExchange),
+            ("count", CountFloodSetExchange),
+            ("diff", DiffFloodSetExchange),
+            ("dwork-moses", DworkMosesExchange),
+            ("emin", EMinExchange),
+            ("ebasic", EBasicExchange),
+        ]:
+            assert isinstance(exchange_by_name(name, 3, 2, 1), cls)
+
+    def test_unknown_exchange_raises(self):
+        with pytest.raises(ValueError):
+            exchange_by_name("full-information", 3, 2, 1)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            FloodSetExchange(num_agents=0, num_values=2, max_faulty=0)
+        with pytest.raises(ValueError):
+            FloodSetExchange(num_agents=3, num_values=0, max_faulty=1)
+        with pytest.raises(ValueError):
+            FloodSetExchange(num_agents=3, num_values=2, max_faulty=5)

@@ -1,0 +1,126 @@
+"""Unit tests for the failure models."""
+
+import pytest
+
+from repro.failures import (
+    CrashFailures,
+    GeneralOmissions,
+    ReceivingOmissions,
+    SendingOmissions,
+    failure_model_by_name,
+)
+from repro.failures.base import DeliveryMode
+
+
+class TestCrashFailures:
+    def test_single_initial_env_with_everyone_alive(self):
+        model = CrashFailures(3, 2)
+        envs = list(model.initial_env_states())
+        assert envs == [(False, False, False)]
+
+    def test_round_choices_respect_failure_budget(self):
+        model = CrashFailures(3, 1)
+        env = (False, False, False)
+        choices = list(model.round_choices(env))
+        assert frozenset() in choices
+        assert all(len(choice) <= 1 for choice in choices)
+        assert len(choices) == 4  # nobody, or any single agent
+
+    def test_round_choices_exclude_already_crashed(self):
+        model = CrashFailures(3, 3)
+        env = (True, False, False)
+        choices = list(model.round_choices(env))
+        assert all(0 not in choice for choice in choices)
+        # remaining budget is 2 over two alive agents
+        assert max(len(choice) for choice in choices) == 2
+
+    def test_apply_choice_marks_agents_crashed(self):
+        model = CrashFailures(3, 2)
+        env = (False, False, False)
+        assert model.apply_choice(env, frozenset({1})) == (False, True, False)
+
+    def test_delivery_modes(self):
+        model = CrashFailures(3, 2)
+        env = (True, False, False)
+        choice = frozenset({1})
+        assert model.delivery_mode(env, choice, 0, 2) is DeliveryMode.NEVER
+        assert model.delivery_mode(env, choice, 1, 2) is DeliveryMode.OPTIONAL
+        assert model.delivery_mode(env, choice, 1, 1) is DeliveryMode.ALWAYS
+        assert model.delivery_mode(env, choice, 2, 0) is DeliveryMode.ALWAYS
+
+    def test_crashed_agents_cannot_send_or_act_and_are_faulty(self):
+        model = CrashFailures(2, 1)
+        env = (True, False)
+        assert not model.can_send(env, frozenset(), 0)
+        assert model.can_send(env, frozenset(), 1)
+        assert not model.can_act(env, 0)
+        assert not model.nonfaulty(env, 0)
+        assert model.nonfaulty(env, 1)
+        assert model.nonfaulty_set(env) == (1,)
+
+
+class TestOmissionFailures:
+    def test_initial_env_states_enumerate_faulty_sets(self):
+        model = SendingOmissions(3, 1)
+        envs = list(model.initial_env_states())
+        assert frozenset() in envs
+        assert len(envs) == 1 + 3  # empty set plus three singletons
+
+    def test_initial_env_states_bounded_by_t(self):
+        model = SendingOmissions(4, 2)
+        envs = list(model.initial_env_states())
+        assert all(len(env) <= 2 for env in envs)
+        assert len(envs) == 1 + 4 + 6
+
+    def test_round_choices_trivial(self):
+        model = SendingOmissions(3, 1)
+        assert list(model.round_choices(frozenset({0}))) == [None]
+        assert model.apply_choice(frozenset({0}), None) == frozenset({0})
+
+    def test_sending_omission_delivery_modes(self):
+        model = SendingOmissions(3, 1)
+        env = frozenset({0})
+        assert model.delivery_mode(env, None, 0, 1) is DeliveryMode.OPTIONAL
+        assert model.delivery_mode(env, None, 0, 0) is DeliveryMode.ALWAYS
+        assert model.delivery_mode(env, None, 1, 0) is DeliveryMode.ALWAYS
+
+    def test_receiving_omission_delivery_modes(self):
+        model = ReceivingOmissions(3, 1)
+        env = frozenset({0})
+        assert model.delivery_mode(env, None, 1, 0) is DeliveryMode.OPTIONAL
+        assert model.delivery_mode(env, None, 0, 1) is DeliveryMode.ALWAYS
+
+    def test_general_omission_delivery_modes(self):
+        model = GeneralOmissions(3, 1)
+        env = frozenset({0})
+        assert model.delivery_mode(env, None, 0, 1) is DeliveryMode.OPTIONAL
+        assert model.delivery_mode(env, None, 1, 0) is DeliveryMode.OPTIONAL
+        assert model.delivery_mode(env, None, 1, 2) is DeliveryMode.ALWAYS
+
+    def test_faulty_agents_still_act_and_send(self):
+        model = SendingOmissions(3, 1)
+        env = frozenset({0})
+        assert model.can_act(env, 0)
+        assert model.can_send(env, None, 0)
+        assert not model.nonfaulty(env, 0)
+        assert model.nonfaulty(env, 1)
+
+
+class TestRegistryAndValidation:
+    def test_failure_model_by_name(self):
+        assert isinstance(failure_model_by_name("crash", 3, 1), CrashFailures)
+        assert isinstance(failure_model_by_name("sending", 3, 1), SendingOmissions)
+        assert isinstance(failure_model_by_name("receiving", 3, 1), ReceivingOmissions)
+        assert isinstance(failure_model_by_name("general", 3, 1), GeneralOmissions)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            failure_model_by_name("byzantine", 3, 1)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            CrashFailures(0, 0)
+        with pytest.raises(ValueError):
+            CrashFailures(3, 4)
+        with pytest.raises(ValueError):
+            CrashFailures(3, -1)

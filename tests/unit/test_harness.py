@@ -1,0 +1,149 @@
+"""Unit tests for the benchmark harness (runner and tables)."""
+
+import pytest
+
+from repro.harness.runner import CaseOutcome, run_case
+from repro.harness.tables import (
+    TableSpec,
+    ablation_failure_models,
+    ablation_temporal_only,
+    render_table,
+    run_table,
+    table1_spec,
+    table2_spec,
+    table3_spec,
+)
+
+
+class TestRunCase:
+    def test_in_process_execution_returns_result(self):
+        outcome = run_case(
+            "sba-synthesis",
+            {"exchange": "floodset", "num_agents": 2, "max_faulty": 1},
+            in_process=True,
+        )
+        assert outcome.ok
+        assert outcome.result["n"] == 2
+        assert outcome.seconds is not None and outcome.seconds > 0
+        assert outcome.cell().startswith("0m")
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError):
+            run_case("not-a-task", {})
+
+    def test_error_in_task_is_reported(self):
+        outcome = run_case(
+            "sba-synthesis",
+            {"exchange": "floodset", "num_agents": 2, "max_faulty": 5},
+            in_process=True,
+        )
+        assert not outcome.ok
+        assert outcome.error is not None
+        assert outcome.cell() == "ERR"
+
+    def test_subprocess_execution_and_timeout(self):
+        quick = run_case(
+            "sba-synthesis",
+            {"exchange": "floodset", "num_agents": 2, "max_faulty": 1},
+            timeout=60.0,
+        )
+        assert quick.ok and quick.result is not None
+
+        slow = run_case(
+            "sba-synthesis",
+            {"exchange": "count", "num_agents": 5, "max_faulty": 5},
+            timeout=0.2,
+        )
+        assert slow.timed_out
+        assert slow.cell() == "TO"
+
+    def test_state_budget_is_reported_as_timeout(self):
+        outcome = run_case(
+            "sba-synthesis",
+            {
+                "exchange": "floodset",
+                "num_agents": 3,
+                "max_faulty": 2,
+                "max_states": 10,
+            },
+            timeout=30.0,
+        )
+        assert outcome.timed_out
+        assert outcome.cell() == "TO"
+
+    def test_cell_formatting(self):
+        outcome = CaseOutcome(task="x", params={}, seconds=75.5, timed_out=False)
+        assert outcome.cell() == "1m15.500"
+
+
+class TestTableSpecs:
+    def test_table1_spec_structure(self):
+        spec = table1_spec(max_n=3)
+        assert spec.name == "table1"
+        row_keys = [key for key, _ in spec.rows]
+        assert (2, 1) in row_keys and (3, 3) in row_keys
+        assert (4, 1) not in row_keys
+        assert spec.columns() == [
+            "floodset-mc",
+            "floodset-synth",
+            "count-mc",
+            "count-synth",
+        ]
+
+    def test_table1_without_count(self):
+        spec = table1_spec(max_n=2, include_count=False)
+        assert spec.columns() == ["floodset-mc", "floodset-synth"]
+
+    def test_table2_spec_round_grid(self):
+        spec = table2_spec(max_n=2)
+        row_keys = [key for key, _ in spec.rows]
+        assert (2, 1, 1) in row_keys and (2, 2, 3) in row_keys
+        assert all(rounds <= t + 1 for (_, t, rounds) in row_keys)
+        assert spec.columns() == ["diff-mc", "dwork-moses-mc"]
+
+    def test_table3_spec_columns(self):
+        spec = table3_spec(max_n=2)
+        assert spec.columns() == [
+            "emin-crash",
+            "emin-sending",
+            "ebasic-crash",
+            "ebasic-sending",
+        ]
+
+    def test_ablation_specs(self):
+        assert ablation_temporal_only(max_n=3).rows
+        assert ablation_failure_models(max_n=2).rows
+
+
+class TestRunAndRenderTable:
+    def test_small_table_runs_and_renders(self):
+        spec = TableSpec(
+            name="mini",
+            title="Mini table",
+            row_header=("n", "t"),
+            rows=[
+                (
+                    (2, 1),
+                    [
+                        (
+                            "floodset-synth",
+                            "sba-synthesis",
+                            {"exchange": "floodset", "num_agents": 2, "max_faulty": 1},
+                        )
+                    ],
+                )
+            ],
+        )
+        result = run_table(spec, timeout=60.0, verbose=False)
+        rendered = render_table(result)
+        assert "Mini table" in rendered
+        assert "floodset-synth" in rendered
+        assert "TO" not in rendered
+
+    def test_missing_cell_renders_dash(self):
+        spec = table1_spec(max_n=2)
+        from repro.harness.tables import TableResult
+
+        empty = TableResult(spec=spec)
+        rendered = render_table(empty)
+        assert "-" in rendered

@@ -1,0 +1,104 @@
+"""Unit tests for formula builders and structured atoms."""
+
+import pytest
+
+from repro.logic.atoms import (
+    decided,
+    decides_now,
+    decision_is,
+    exists_value,
+    init_is,
+    nonfaulty,
+    obs_feature,
+    some_decided_value,
+    time_is,
+)
+from repro.logic.builders import (
+    AX_power,
+    belief_n,
+    big_and,
+    big_or,
+    common_belief_exists,
+    iff,
+    implies,
+    knows,
+    neg,
+)
+from repro.logic.formula import (
+    And,
+    Atom,
+    Bottom,
+    CommonBelief,
+    Iff,
+    Implies,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Not,
+    Or,
+    Top,
+)
+
+
+def test_atom_constructors_produce_expected_keys():
+    assert init_is(1, 0).key == ("init", 1, 0)
+    assert exists_value(1).key == ("exists", 1)
+    assert decided(2).key == ("decided", 2)
+    assert decision_is(0, 1).key == ("decision", 0, 1)
+    assert some_decided_value(0).key == ("some_decided", 0)
+    assert decides_now(1, 0).key == ("decides_now", 1, 0)
+    assert nonfaulty(0).key == ("nonfaulty", 0)
+    assert time_is(3).key == ("time", 3)
+    assert obs_feature(0, "count", 2).key == ("obs", 0, "count", 2)
+
+
+def test_neg_collapses_double_negation():
+    atom = Atom("p")
+    assert neg(atom) == Not(atom)
+    assert neg(neg(atom)) == atom
+
+
+def test_big_and_flattens_and_handles_edge_cases():
+    assert isinstance(big_and([]), Top)
+    single = big_and([Atom("p")])
+    assert single == Atom("p")
+    nested = big_and([And((Atom("a"), Atom("b"))), Atom("c")])
+    assert isinstance(nested, And)
+    assert len(nested.operands) == 3
+
+
+def test_big_or_flattens_and_handles_edge_cases():
+    assert isinstance(big_or([]), Bottom)
+    assert big_or([Atom("p")]) == Atom("p")
+    nested = big_or([Or((Atom("a"), Atom("b"))), Atom("c")])
+    assert isinstance(nested, Or)
+    assert len(nested.operands) == 3
+
+
+def test_implies_and_iff_and_knowledge_builders():
+    assert isinstance(implies(Atom("a"), Atom("b")), Implies)
+    assert isinstance(iff(Atom("a"), Atom("b")), Iff)
+    assert knows(1, Atom("p")) == Knows(1, Atom("p"))
+    assert belief_n(1, Atom("p")) == KnowsNonfaulty(1, Atom("p"))
+
+
+def test_common_belief_exists_matches_paper_shape():
+    condition = common_belief_exists(2, 1)
+    assert isinstance(condition, KnowsNonfaulty)
+    assert condition.agent == 2
+    assert isinstance(condition.operand, CommonBelief)
+    assert condition.operand.operand == exists_value(1)
+
+
+def test_ax_power_iterates_next():
+    base = Atom("p")
+    assert AX_power(0, base) == base
+    twice = AX_power(2, base)
+    assert isinstance(twice, Next)
+    assert isinstance(twice.operand, Next)
+    assert twice.operand.operand == base
+
+
+def test_ax_power_rejects_negative():
+    with pytest.raises(ValueError):
+        AX_power(-1, Atom("p"))

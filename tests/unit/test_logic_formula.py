@@ -1,0 +1,115 @@
+"""Unit tests for the formula AST."""
+
+import pytest
+
+from repro.logic.formula import (
+    And,
+    Atom,
+    Bottom,
+    CommonBelief,
+    EvEventually,
+    EveryoneBelieves,
+    Iff,
+    Implies,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Not,
+    Nu,
+    Or,
+    PositivityError,
+    Top,
+    Var,
+    check_positive,
+)
+
+
+def test_operator_overloads_build_expected_nodes():
+    a = Atom("a")
+    b = Atom("b")
+    assert isinstance(a & b, And)
+    assert isinstance(a | b, Or)
+    assert isinstance(~a, Not)
+    assert isinstance(a >> b, Implies)
+
+
+def test_formulas_are_hashable_and_structurally_equal():
+    left = Knows(0, And((Atom("p"), Atom("q"))))
+    right = Knows(0, And((Atom("p"), Atom("q"))))
+    assert left == right
+    assert hash(left) == hash(right)
+    assert len({left, right}) == 1
+
+
+def test_children_and_subformulas():
+    formula = Implies(Atom("p"), Knows(1, Or((Atom("q"), Atom("r")))))
+    subs = list(formula.subformulas())
+    assert formula in subs
+    assert Atom("q") in subs
+    assert formula.size() == 6
+
+
+def test_agents_collects_knowledge_operators():
+    formula = And((Knows(0, Atom("p")), KnowsNonfaulty(2, Atom("q"))))
+    assert formula.agents() == frozenset({0, 2})
+
+
+def test_free_variables_and_closedness():
+    open_formula = And((Var("X"), Atom("p")))
+    closed = Nu("X", And((Var("X"), Atom("p"))))
+    assert open_formula.free_variables() == frozenset({"X"})
+    assert not open_formula.is_closed()
+    assert closed.free_variables() == frozenset()
+    assert closed.is_closed()
+
+
+def test_nested_fixpoint_free_variables():
+    formula = Nu("X", And((Var("X"), Var("Y"))))
+    assert formula.free_variables() == frozenset({"Y"})
+
+
+def test_has_temporal_and_has_knowledge():
+    epistemic = CommonBelief(Atom("p"))
+    temporal = Next(Atom("p"))
+    both = And((Knows(0, Atom("p")), EvEventually(Atom("q"))))
+    assert epistemic.has_knowledge() and not epistemic.has_temporal()
+    assert temporal.has_temporal() and not temporal.has_knowledge()
+    assert both.has_temporal() and both.has_knowledge()
+
+
+def test_check_positive_accepts_positive_occurrences():
+    formula = Nu("X", EveryoneBelieves(And((Atom("p"), Var("X")))))
+    check_positive(formula)  # should not raise
+
+
+def test_check_positive_rejects_negative_occurrence():
+    bad = Nu("X", Not(Var("X")))
+    with pytest.raises(PositivityError):
+        check_positive(bad)
+
+
+def test_check_positive_rejects_negative_via_implication():
+    bad = Nu("X", Implies(Var("X"), Atom("p")))
+    with pytest.raises(PositivityError):
+        check_positive(bad)
+
+
+def test_check_positive_rejects_variable_under_iff():
+    bad = Nu("X", Iff(Var("X"), Atom("p")))
+    with pytest.raises(PositivityError):
+        check_positive(bad)
+
+
+def test_check_positive_ignores_unbound_variables():
+    # A free variable may occur negatively; only bound ones are restricted.
+    check_positive(Not(Var("Y")))
+
+
+def test_str_renderings_are_informative():
+    assert "K_1" in str(Knows(1, Atom("p")))
+    assert "B^N_0" in str(KnowsNonfaulty(0, Atom("p")))
+    assert "CB_N" in str(CommonBelief(Atom("p")))
+    assert "nu X" in str(Nu("X", Var("X")))
+    assert str(Top()) == "true"
+    assert str(Bottom()) == "false"
+    assert "init" in str(Atom(("init", 0, 1)))

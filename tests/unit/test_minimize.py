@@ -1,0 +1,105 @@
+"""Unit tests for the Quine-McCluskey minimiser."""
+
+from itertools import product
+
+from repro.core.minimize import (
+    Cover,
+    minimise,
+    prime_implicants,
+    truth_table_minimise,
+)
+
+
+def _brute_force_equivalent(cover: Cover, num_variables: int, on_set, dont_cares=()):
+    """The cover must match the on-set exactly outside the don't-care set."""
+    dont_cares = set(dont_cares)
+    for index in range(2 ** num_variables):
+        if index in dont_cares:
+            continue
+        assignment = [
+            bool((index >> (num_variables - 1 - position)) & 1)
+            for position in range(num_variables)
+        ]
+        expected = index in set(on_set)
+        assert cover.evaluate(assignment) == expected, f"mismatch at {assignment}"
+
+
+def test_minimise_empty_function_is_false():
+    cover = minimise(3, [])
+    assert cover.implicants == ()
+    assert not cover.evaluate([True, True, True])
+    assert cover.render(["a", "b", "c"]) == "False"
+
+
+def test_minimise_tautology_collapses_to_single_term():
+    cover = minimise(2, [0, 1, 2, 3])
+    assert len(cover.implicants) == 1
+    assert cover.implicants[0] == (None, None)
+    assert cover.render(["a", "b"]) == "True"
+
+
+def test_minimise_classic_example():
+    # f(a,b,c,d) = sum of minterms 4,8,10,11,12,15 with DC 9,14 — a classic
+    # Quine-McCluskey textbook exercise.
+    on_set = [4, 8, 10, 11, 12, 15]
+    dont_cares = [9, 14]
+    cover = minimise(4, on_set, dont_cares)
+    _brute_force_equivalent(cover, 4, on_set, dont_cares)
+    # The minimal cover has at most 3 implicants for this function.
+    assert len(cover.implicants) <= 3
+
+
+def test_minimise_xor_cannot_be_reduced():
+    on_set = [1, 2]  # a xor b
+    cover = minimise(2, on_set)
+    _brute_force_equivalent(cover, 2, on_set)
+    assert len(cover.implicants) == 2
+
+
+def test_minimise_single_variable_projection():
+    # f(a, b) = a: minterms 2 and 3.
+    cover = minimise(2, [2, 3])
+    assert cover.implicants == ((True, None),)
+    assert cover.render(["a", "b"]) == "a"
+
+
+def test_prime_implicants_of_adjacent_minterms_merge():
+    primes = prime_implicants(3, [0, 1])
+    assert (False, False, None) in primes
+
+
+def test_truth_table_minimise_uses_unspecified_rows_as_dont_cares():
+    # Only three of the four rows are reachable; the unreachable row may be
+    # classified arbitrarily, allowing a single-literal answer.
+    table = {
+        (True, True): True,
+        (True, False): True,
+        (False, False): False,
+    }
+    cover = truth_table_minimise(table)
+    names = ["a", "b"]
+    assert cover.render(names) == "a"
+
+
+def test_truth_table_minimise_respects_reachable_only_flag():
+    table = {
+        (True, True): True,
+        (True, False): True,
+        (False, False): False,
+    }
+    cover = truth_table_minimise(table, reachable_only=False)
+    # Without don't-cares the cover must not include the unreachable (F, T) row.
+    assert not cover.evaluate([False, True])
+
+
+def test_render_uses_negative_literals():
+    # f(a, b) = ~a & b
+    cover = minimise(2, [1])
+    assert cover.render(["a", "b"]) == "~a & b"
+
+
+def test_cover_evaluate_agrees_with_render_semantics():
+    on_set = [1, 3, 5, 7]  # f = d (last variable) over 3 variables
+    cover = minimise(3, on_set)
+    for assignment in product([False, True], repeat=3):
+        assert cover.evaluate(list(assignment)) == assignment[2]

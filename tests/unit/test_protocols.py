@@ -1,0 +1,168 @@
+"""Unit tests for the concrete decision protocols."""
+
+import pytest
+
+from repro.exchanges import (
+    CountFloodSetExchange,
+    DiffFloodSetExchange,
+    DworkMosesExchange,
+    EBasicExchange,
+    EMinExchange,
+    FloodSetExchange,
+)
+from repro.protocols import (
+    CountConditionProtocol,
+    DworkMosesProtocol,
+    EBasicProtocol,
+    EMinProtocol,
+    FloodSetRevisedProtocol,
+    FloodSetStandardProtocol,
+    FunctionProtocol,
+    NeverDecide,
+)
+from repro.protocols.sba import floodset_critical_time, least_seen_value
+from repro.systems.actions import NOOP
+
+
+class TestHelpers:
+    def test_least_seen_value(self):
+        assert least_seen_value((False, True)) == 1
+        assert least_seen_value((True, True)) == 0
+        assert least_seen_value((False, False)) is NOOP
+
+    def test_floodset_critical_time(self):
+        assert floodset_critical_time(3, 1) == 2   # t < n-1 -> t+1
+        assert floodset_critical_time(3, 2) == 2   # t >= n-1 -> n-1
+        assert floodset_critical_time(3, 3) == 2
+        assert floodset_critical_time(5, 2) == 3
+        assert floodset_critical_time(2, 2) == 1
+
+    def test_never_decide_and_function_protocol(self):
+        assert NeverDecide().act(0, None, 5) is NOOP
+        wrapped = FunctionProtocol(lambda agent, local, time: 1, name="always-one")
+        assert wrapped(0, None, 0) == 1
+        assert wrapped.name == "always-one"
+
+
+class TestFloodSetProtocols:
+    def setup_method(self):
+        self.exchange = FloodSetExchange(num_agents=3, num_values=2, max_faulty=2)
+
+    def test_standard_waits_until_t_plus_one(self):
+        protocol = FloodSetStandardProtocol(3, 2)
+        local = self.exchange.initial_local(0, 1)
+        assert protocol.act(0, local, 0) is NOOP
+        assert protocol.act(0, local, 2) is NOOP
+        assert protocol.act(0, local, 3) == 1
+
+    def test_standard_decides_least_seen(self):
+        protocol = FloodSetStandardProtocol(3, 2)
+        local = self.exchange.initial_local(0, 1)._replace(seen=(True, True))
+        assert protocol.act(0, local, 3) == 0
+
+    def test_revised_uses_critical_time(self):
+        protocol = FloodSetRevisedProtocol(3, 2)
+        local = self.exchange.initial_local(0, 1)
+        assert protocol.act(0, local, 1) is NOOP
+        assert protocol.act(0, local, 2) == 1  # n-1 = 2 < t+1 = 3
+
+    def test_revised_matches_standard_when_t_small(self):
+        protocol = FloodSetRevisedProtocol(4, 1)
+        local = FloodSetExchange(4, 2, 1).initial_local(0, 0)
+        assert protocol.act(0, local, 1) is NOOP
+        assert protocol.act(0, local, 2) == 0
+
+
+class TestCountProtocol:
+    def test_early_exit_on_count_one(self):
+        exchange = CountFloodSetExchange(num_agents=3, num_values=2, max_faulty=2)
+        protocol = CountConditionProtocol(3, 2)
+        lonely = exchange.initial_local(0, 1)._replace(count=1)
+        assert protocol.act(0, lonely, 1) == 1
+        crowded = exchange.initial_local(0, 1)._replace(count=3)
+        assert protocol.act(0, crowded, 1) is NOOP
+        assert protocol.act(0, crowded, 2) == 1
+
+    def test_no_early_exit_at_time_zero(self):
+        exchange = CountFloodSetExchange(num_agents=3, num_values=2, max_faulty=2)
+        protocol = CountConditionProtocol(3, 2)
+        local = exchange.initial_local(0, 1)._replace(count=1)
+        assert protocol.act(0, local, 0) is NOOP
+
+    def test_works_with_diff_local_states(self):
+        exchange = DiffFloodSetExchange(num_agents=3, num_values=2, max_faulty=1)
+        protocol = CountConditionProtocol(3, 1)
+        local = exchange.initial_local(0, 0)._replace(count=1)
+        assert protocol.act(0, local, 1) == 0
+
+    def test_rejects_wrong_local_state(self):
+        protocol = CountConditionProtocol(3, 1)
+        floodset_local = FloodSetExchange(3, 2, 1).initial_local(0, 0)
+        with pytest.raises(TypeError):
+            protocol.act(0, floodset_local, 1)
+
+
+class TestDworkMosesProtocol:
+    def setup_method(self):
+        self.exchange = DworkMosesExchange(num_agents=3, num_values=2, max_faulty=2)
+        self.protocol = DworkMosesProtocol(3, 2)
+
+    def test_waits_for_waste_condition(self):
+        local = self.exchange.initial_local(0, 1)
+        assert self.protocol.act(0, local, 1) is NOOP
+        assert self.protocol.act(0, local, 2) is NOOP
+        assert self.protocol.act(0, local, 3) == 1  # t+1 with zero waste
+
+    def test_waste_enables_early_decision(self):
+        local = self.exchange.initial_local(0, 0)._replace(waste=2)
+        assert self.protocol.act(0, local, 1) == 0  # 1 >= t+1-2
+
+    def test_decides_zero_iff_exists0(self):
+        local = self.exchange.initial_local(0, 1)._replace(waste=2, exists0=True)
+        assert self.protocol.act(0, local, 1) == 0
+        local = self.exchange.initial_local(0, 1)._replace(waste=2, exists0=False)
+        assert self.protocol.act(0, local, 1) == 1
+
+    def test_rejects_wrong_local_state(self):
+        with pytest.raises(TypeError):
+            self.protocol.act(0, FloodSetExchange(3, 2, 2).initial_local(0, 0), 3)
+
+
+class TestEBAProtocols:
+    def test_emin_decides_zero_immediately_on_initial_zero(self):
+        exchange = EMinExchange(num_agents=3, num_values=2, max_faulty=1)
+        protocol = EMinProtocol(3, 1)
+        assert protocol.act(0, exchange.initial_local(0, 0), 0) == 0
+
+    def test_emin_decides_zero_on_heard_decision(self):
+        exchange = EMinExchange(num_agents=3, num_values=2, max_faulty=1)
+        protocol = EMinProtocol(3, 1)
+        local = exchange.initial_local(0, 1)._replace(jd=0)
+        assert protocol.act(0, local, 1) == 0
+
+    def test_emin_decides_one_only_at_t_plus_one(self):
+        exchange = EMinExchange(num_agents=3, num_values=2, max_faulty=1)
+        protocol = EMinProtocol(3, 1)
+        local = exchange.initial_local(0, 1)
+        assert protocol.act(0, local, 1) is NOOP
+        assert protocol.act(0, local, 2) == 1
+
+    def test_ebasic_early_decision_on_num1(self):
+        exchange = EBasicExchange(num_agents=3, num_values=2, max_faulty=2)
+        protocol = EBasicProtocol(3, 2)
+        local = exchange.initial_local(0, 1)._replace(num1=3)
+        assert protocol.act(0, local, 1) == 1  # 3 > 3 - 1
+        local = exchange.initial_local(0, 1)._replace(num1=2)
+        assert protocol.act(0, local, 1) is NOOP
+
+    def test_ebasic_follows_heard_decisions(self):
+        exchange = EBasicExchange(num_agents=3, num_values=2, max_faulty=2)
+        protocol = EBasicProtocol(3, 2)
+        assert protocol.act(0, exchange.initial_local(0, 1)._replace(jd=0), 1) == 0
+        assert protocol.act(0, exchange.initial_local(0, 1)._replace(jd=1), 1) == 1
+
+    def test_eba_protocols_reject_wrong_local_state(self):
+        with pytest.raises(TypeError):
+            EMinProtocol(3, 1).act(0, FloodSetExchange(3, 2, 1).initial_local(0, 0), 0)
+        with pytest.raises(TypeError):
+            EBasicProtocol(3, 1).act(0, EMinExchange(3, 2, 1).initial_local(0, 0), 0)

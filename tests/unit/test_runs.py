@@ -1,0 +1,134 @@
+"""Unit tests for explicit adversaries and deterministic runs."""
+
+import random
+
+import pytest
+
+from repro.factory import build_eba_model, build_sba_model
+from repro.protocols.eba import EMinProtocol
+from repro.protocols.sba import FloodSetStandardProtocol
+from repro.systems.runs import (
+    CrashAdversary,
+    OmissionAdversary,
+    enumerate_crash_adversaries,
+    enumerate_omission_adversaries,
+    sample_adversary,
+    simulate_run,
+)
+from repro.failures import SendingOmissions
+
+
+class TestCrashAdversary:
+    def test_failure_free_adversary(self):
+        adversary = CrashAdversary()
+        assert not adversary.is_faulty(0)
+        assert adversary.correct_agents(3) == (0, 1, 2)
+        assert adversary.can_act(0, 5)
+        assert adversary.delivered(1, 0, 1)
+        assert adversary.nonfaulty_at(0, 10)
+
+    def test_crash_round_semantics(self):
+        adversary = CrashAdversary(crashes={1: (2, frozenset({0}))})
+        assert adversary.is_faulty(1)
+        assert adversary.correct_agents(3) == (0, 2)
+        # Acting: agent 1 acts at times 0 and 1, not from time 2 on.
+        assert adversary.can_act(1, 1)
+        assert not adversary.can_act(1, 2)
+        # Sending: normal before the crash round, subset during, nothing after.
+        assert adversary.delivered(1, 1, 2)
+        assert adversary.delivered(2, 1, 0)
+        assert not adversary.delivered(2, 1, 2)
+        assert not adversary.delivered(3, 1, 0)
+        # Self delivery in the crash round always succeeds.
+        assert adversary.delivered(2, 1, 1)
+        # Nonfaulty set: still in N before the crash takes effect.
+        assert adversary.nonfaulty_at(1, 1)
+        assert not adversary.nonfaulty_at(1, 2)
+
+
+class TestOmissionAdversary:
+    def test_omissions_only_affect_listed_links(self):
+        adversary = OmissionAdversary(
+            faulty=frozenset({0}), omitted=frozenset({(1, 0, 1)})
+        )
+        assert adversary.is_faulty(0)
+        assert not adversary.delivered(1, 0, 1)
+        assert adversary.delivered(2, 0, 1)
+        assert adversary.delivered(1, 0, 2)
+        assert adversary.delivered(1, 0, 0)  # self delivery always succeeds
+        assert adversary.can_act(0, 99)
+
+
+class TestSimulateRun:
+    def test_failure_free_floodset_run_decides_at_t_plus_one(self):
+        model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+        protocol = FloodSetStandardProtocol(3, 1)
+        run = simulate_run(model, protocol, (0, 1, 1), CrashAdversary())
+        assert all(run.decided(agent) for agent in range(3))
+        assert all(run.decision_time(agent) == 2 for agent in range(3))
+        assert all(run.decision_value(agent) == 0 for agent in range(3))
+
+    def test_crashed_agent_stops_participating(self):
+        model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+        protocol = FloodSetStandardProtocol(3, 1)
+        adversary = CrashAdversary(crashes={0: (1, frozenset())})
+        run = simulate_run(model, protocol, (0, 1, 1), adversary)
+        # Agent 0 crashes in round 1 delivering to nobody: its 0 never spreads.
+        assert not run.decided(0)
+        assert run.decision_value(1) == 1 and run.decision_value(2) == 1
+
+    def test_emin_run_under_sending_omissions(self):
+        model = build_eba_model("emin", num_agents=3, max_faulty=1, failures="sending")
+        protocol = EMinProtocol(3, 1)
+        adversary = OmissionAdversary(faulty=frozenset({0}), omitted=frozenset())
+        run = simulate_run(model, protocol, (0, 1, 1), adversary)
+        # Agent 0 decides 0 immediately; its decision message reaches the others.
+        assert run.decision_time(0) == 0 and run.decision_value(0) == 0
+        assert run.decision_value(1) == 0 and run.decision_value(2) == 0
+
+    def test_votes_length_is_validated(self):
+        model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+        with pytest.raises(ValueError):
+            simulate_run(model, None, (0, 1), CrashAdversary())
+
+    def test_run_records_actions_and_states(self):
+        model = build_sba_model("floodset", num_agents=2, max_faulty=1)
+        protocol = FloodSetStandardProtocol(2, 1)
+        run = simulate_run(model, protocol, (1, 1), CrashAdversary())
+        assert len(run.states) == model.default_horizon() + 1
+        assert len(run.actions) == model.default_horizon() + 1
+        assert run.votes == (1, 1)
+
+
+class TestEnumerationAndSampling:
+    def test_enumerate_crash_adversaries_counts(self):
+        adversaries = list(enumerate_crash_adversaries(2, 1, horizon=2))
+        # faulty set empty (1) + each single agent with 2 rounds x 2 subsets (4) = 9
+        assert len(adversaries) == 1 + 2 * 4
+        assert any(not a.crashes for a in adversaries)
+
+    def test_enumerate_crash_adversaries_limit(self):
+        adversaries = list(enumerate_crash_adversaries(3, 2, horizon=3, limit=10))
+        assert len(adversaries) == 10
+
+    def test_enumerate_omission_adversaries(self):
+        failures = SendingOmissions(2, 1)
+        adversaries = list(enumerate_omission_adversaries(failures, horizon=1))
+        # no faulty (1) + one faulty agent (2) each with 1 candidate link -> 2 subsets
+        assert len(adversaries) == 1 + 2 * 2
+        assert all(len(a.faulty) <= 1 for a in adversaries)
+
+    def test_sample_adversary_is_consistent_with_model(self):
+        rng = random.Random(7)
+        crash = build_sba_model("floodset", num_agents=4, max_faulty=2)
+        for _ in range(20):
+            adversary = sample_adversary(crash.failures, horizon=4, rng=rng)
+            assert isinstance(adversary, CrashAdversary)
+            assert len(adversary.crashes) <= 2
+        omission = SendingOmissions(4, 2)
+        for _ in range(20):
+            adversary = sample_adversary(omission, horizon=4, rng=rng)
+            assert isinstance(adversary, OmissionAdversary)
+            assert len(adversary.faulty) <= 2
+            for (_, sender, _) in adversary.omitted:
+                assert sender in adversary.faulty
