@@ -1,0 +1,149 @@
+"""Bitset satisfaction engine vs the legacy set-based checker.
+
+Measures the speedup of the packed-bitset :class:`~repro.core.checker.ModelChecker`
+over the retained set-based oracle :class:`~repro.core.reference.SetChecker`
+on the paper's table workloads:
+
+* **Table 1 (SBA)** — model checking the FloodSet ``n=6`` system: the SBA
+  specification formulas plus the knowledge conditions ``B^N_i CB_N ∃v`` for
+  every agent and value.  This is the workload the acceptance criterion
+  targets (≥5× speedup).
+* **Table 3 (EBA)** — model checking E_min under sending omissions: the EBA
+  specification plus the decide-1 knowledge condition
+  ``K_i ~EF(someone decides 0)`` for every agent.
+
+Results (times, speedups, state counts) are recorded into
+``BENCH_checker.json`` at the repository root so the speedup is tracked
+across PRs.  To keep routine test runs from dirtying the working tree with
+machine-local timing noise, the file is only (re)written when it does not
+exist yet or when ``REPRO_BENCH_RECORD`` is set in the environment; the
+speedup assertions run regardless.  Timings take the best of :data:`ROUNDS`
+fresh-checker runs per engine, which suppresses scheduler noise without
+letting either engine reuse its formula cache across rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.checker import ModelChecker
+from repro.core.reference import SetChecker
+from repro.factory import build_eba_model, build_sba_model
+from repro.logic.atoms import decides_now
+from repro.logic.builders import big_or, common_belief_exists, neg
+from repro.logic.formula import EvEventually, Knows
+from repro.protocols.eba import EMinProtocol
+from repro.protocols.sba import FloodSetStandardProtocol
+from repro.spec.eba import eba_spec_formulas
+from repro.spec.sba import sba_spec_formulas
+from repro.systems.space import build_space
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_checker.json"
+ROUNDS = 3
+
+# Decided once per test session: record when explicitly asked, or when the
+# file is missing entirely (bootstrap) — checked at import so the first
+# workload's write doesn't stop the later ones from recording.
+_RECORDING = bool(os.environ.get("REPRO_BENCH_RECORD")) or not BENCH_PATH.exists()
+
+_RESULTS: dict = {}
+
+
+def _time_engine(engine_factory, formulas) -> float:
+    """Best wall-clock time of evaluating all formulas on a fresh checker."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        checker = engine_factory()
+        start = time.perf_counter()
+        for formula in formulas:
+            checker.check(formula)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(name: str, payload: dict) -> None:
+    _RESULTS[name] = payload
+    if not _RECORDING:
+        return
+    existing: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            existing = {}
+    workloads = existing.get("workloads", {})
+    workloads.update(_RESULTS)
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "bitset satisfaction engine vs legacy set-based checker",
+                "rounds": ROUNDS,
+                "workloads": workloads,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def _compare(space, formulas) -> dict:
+    legacy_seconds = _time_engine(lambda: SetChecker(space), formulas)
+    bitset_seconds = _time_engine(lambda: ModelChecker(space), formulas)
+
+    # The engines must agree before any timing claim means anything.
+    legacy, fast = SetChecker(space), ModelChecker(space)
+    for formula in formulas:
+        assert legacy.check(formula) == fast.check(formula)
+
+    return {
+        "states": space.num_states(),
+        "formulas": len(formulas),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "bitset_seconds": round(bitset_seconds, 4),
+        "speedup": round(legacy_seconds / bitset_seconds, 2),
+    }
+
+
+def test_table1_sba_n6_speedup():
+    """Table 1 workload, FloodSet n=6: the acceptance-criterion cell (≥5×)."""
+    n, t = 6, 2
+    model = build_sba_model("floodset", num_agents=n, max_faulty=t)
+    space = build_space(model, FloodSetStandardProtocol(n, t))
+    formulas = list(sba_spec_formulas(model, space.horizon).values())
+    formulas += [
+        common_belief_exists(agent, value)
+        for agent in model.agents()
+        for value in model.values()
+    ]
+
+    payload = {"workload": "sba-model-check", "exchange": "floodset", "n": n, "t": t}
+    payload.update(_compare(space, formulas))
+    _record("table1_sba_n6", payload)
+
+    assert payload["speedup"] >= 5.0, (
+        f"bitset engine only {payload['speedup']}x faster than the set-based "
+        f"checker on the n=6 SBA workload (need >= 5x)"
+    )
+
+
+def test_table3_eba_speedup():
+    """Table 3 workload, E_min n=4 under sending omissions (recorded)."""
+    n, t = 4, 1
+    model = build_eba_model("emin", num_agents=n, max_faulty=t, failures="sending")
+    space = build_space(model, EMinProtocol(n, t))
+    formulas = list(eba_spec_formulas(model, space.horizon).values())
+    someone_decides_zero = big_or(decides_now(agent, 0) for agent in model.agents())
+    formulas += [
+        Knows(agent, neg(EvEventually(someone_decides_zero)))
+        for agent in model.agents()
+    ]
+
+    payload = {"workload": "eba-model-check", "exchange": "emin", "n": n, "t": t}
+    payload.update(_compare(space, formulas))
+    _record("table3_eba_n4", payload)
+
+    assert payload["speedup"] >= 1.0, "bitset engine slower than the set-based checker"

@@ -15,6 +15,13 @@ conditions synthesized by :func:`repro.core.synthesis.synthesize_sba`:
 * **Diff**: remembering the previous count gives no stronger SBA condition
   than the single count.
 
+The hypotheses are checked against the synthesized
+:class:`~repro.core.predicates.ObservationPredicate` tables: synthesis
+evaluates the knowledge conditions as packed per-level bitmasks (see
+:func:`repro.core.synthesis._level_knowledge_conditions` and
+``docs/ARCHITECTURE.md``) and projects them onto observation groups, so this
+module only ever sees observation-level predicates and their named features.
+
 Note on the ``t >= n - 1`` corner of condition (3): the paper states the
 general-time disjunct for the count exchange as ``time = t`` whereas the
 FloodSet condition (2) uses ``time = n - 1``.  In our model the synthesized

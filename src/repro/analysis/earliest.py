@@ -1,4 +1,10 @@
-"""Summaries of the earliest times at which the knowledge conditions hold."""
+"""Summaries of the earliest times at which the knowledge conditions hold.
+
+Consumes the observation-level predicates of an
+:class:`~repro.core.synthesis.SBASynthesisResult`; the underlying knowledge
+conditions are evaluated by synthesis as packed per-level bitmasks and
+projected onto observation groups before they reach this module.
+"""
 
 from __future__ import annotations
 

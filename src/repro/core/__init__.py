@@ -5,18 +5,24 @@ knowledge-based-program synthesizer that play the role of MCK in the paper:
 
 * :mod:`repro.core.checker` — model checking of knowledge, common belief
   (greatest fixpoints) and bounded CTL temporal operators over levelled state
-  spaces, under the clock semantics of knowledge.
+  spaces, under the clock semantics of knowledge, on packed per-level
+  bitsets.
+* :mod:`repro.core.bitset` — the packed satisfaction-set representation and
+  its conversions to/from the legacy ``List[Set[int]]`` form.
+* :mod:`repro.core.reference` — the retained set-based evaluator
+  (:class:`~repro.core.reference.SetChecker`), the oracle for property tests
+  and the baseline for the checker benchmark.
 * :mod:`repro.core.synthesis` — synthesis of the unique clock-semantics
   implementation of the knowledge-based programs for SBA and EBA.
 * :mod:`repro.core.predicates` — synthesized conditions as sets of
   observations, comparison against hypothesised closed-form conditions, and
   rendering as minimised boolean formulas.
 * :mod:`repro.core.minimize` — Quine–McCluskey two-level minimisation.
-* :mod:`repro.core.bdd` — a from-scratch reduced ordered BDD package.
-* :mod:`repro.core.symbolic` — BDD-encoded reachability (ablation).
 """
 
+from repro.core.bitset import BitSat, from_level_sets, to_level_sets
 from repro.core.checker import ModelChecker, SatSet
+from repro.core.reference import SetChecker
 from repro.core.synthesis import (
     EBASynthesisResult,
     SBASynthesisResult,
@@ -27,7 +33,11 @@ from repro.core.predicates import ConditionTable, ObservationPredicate
 
 __all__ = [
     "ModelChecker",
+    "SetChecker",
     "SatSet",
+    "BitSat",
+    "from_level_sets",
+    "to_level_sets",
     "SBASynthesisResult",
     "EBASynthesisResult",
     "synthesize_sba",

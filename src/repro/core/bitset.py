@@ -1,0 +1,74 @@
+"""Packed bitset representation of per-level satisfaction sets.
+
+The clock semantics evaluates every operator level by level, so a
+satisfaction set is naturally "one subset of state indices per time level".
+This module fixes the packed representation used by the fast checker: each
+level's subset is a single arbitrary-precision Python ``int`` in which bit
+``j`` is set iff state ``j`` of that level satisfies the formula
+(:data:`BitSat` = ``List[int]``).
+
+With this encoding the propositional connectives collapse to single integer
+operations (``&``, ``|``, ``^``, and masked complement), the epistemic
+operators become a handful of mask tests per observation block, and fixpoint
+convergence checks become integer equality — all of which CPython executes
+over machine words rather than hash-table entries.  Python's two's-complement
+semantics for ``~`` on non-negative ints are safe here because every
+complement is immediately conjoined with a level mask (or another
+non-negative mask), which discards the sign extension.
+
+The module also provides the conversion helpers (:func:`to_level_sets`,
+:func:`from_level_sets`) that bridge to the legacy ``List[Set[int]]``
+representation still exposed by :meth:`repro.core.checker.ModelChecker.check`
+and used by the reference oracle in :mod:`repro.core.reference`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set
+
+#: A packed satisfaction set: one bitmask per built time level.
+BitSat = List[int]
+
+
+def bits_from_indices(indices: Iterable[int]) -> int:
+    """Pack an iterable of state indices into a bitmask."""
+    bits = 0
+    for index in indices:
+        bits |= 1 << index
+    return bits
+
+
+def iter_indices(bits: int) -> Iterator[int]:
+    """Yield the indices of the set bits of a mask, in increasing order."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def blocks_within(blocks: Iterable[int], restrict: int, target: int) -> int:
+    """Union of the blocks all of whose (restricted) members lie in ``target``.
+
+    The shared kernel of the knowledge operators: a block of an observation
+    partition satisfies ``K_i``/``B^N_i`` of ``target`` iff no block member —
+    restricted to ``restrict`` (the nonfaulty mask for the belief reading,
+    ``-1`` for plain knowledge) — falls outside ``target``.  Used by both the
+    checker and the specialised per-level evaluators in synthesis, so the two
+    cannot drift apart.
+    """
+    missing = restrict & ~target
+    satisfied = 0
+    for block in blocks:
+        if not block & missing:
+            satisfied |= block
+    return satisfied
+
+
+def to_level_sets(bitsat: Sequence[int]) -> List[Set[int]]:
+    """Unpack a :data:`BitSat` into the legacy ``List[Set[int]]`` form."""
+    return [set(iter_indices(bits)) for bits in bitsat]
+
+
+def from_level_sets(sets: Sequence[Set[int]]) -> BitSat:
+    """Pack a legacy ``List[Set[int]]`` satisfaction set into a :data:`BitSat`."""
+    return [bits_from_indices(level) for level in sets]

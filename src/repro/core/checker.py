@@ -1,13 +1,26 @@
 """Explicit-state epistemic model checking under the clock semantics.
 
 The checker evaluates formulas of :mod:`repro.logic` over a
-:class:`~repro.systems.space.LevelledSpace`.  Satisfaction sets are
-represented per time level as sets of state indices
-(:data:`SatSet` = ``List[Set[int]]``), which matches the structure imposed by
-the clock semantics: the knowledge operators only relate points at the same
-time, so every epistemic and propositional operator can be evaluated level by
-level, while the bounded temporal operators are evaluated by backward
-induction over the levels.
+:class:`~repro.systems.space.LevelledSpace`.  Internally, satisfaction sets
+are represented per time level as **packed bitsets** — one arbitrary-precision
+Python ``int`` per level, bit ``j`` standing for state ``j``
+(:data:`~repro.core.bitset.BitSat` = ``List[int]``).  This matches the
+structure imposed by the clock semantics: the knowledge operators only relate
+points at the same time, so every epistemic and propositional operator can be
+evaluated level by level, while the bounded temporal operators are evaluated
+by backward induction over the levels.
+
+The packed representation makes the propositional connectives single integer
+operations (``&``/``|``/``^``), and evaluates ``Knows(i, phi)`` with two mask
+operations per observation block, using the observation-partition block masks
+cached on the space (:meth:`LevelledSpace.observation_masks`).  Satisfaction
+results are memoized per checker keyed on the structural formula hash (cached
+on the immutable formula nodes, see :func:`repro.logic.formula.structural_hash`),
+so the synthesis loop's repeated ``Knows``/``CommonBelief`` queries hit cache
+across rounds.  The legacy ``List[Set[int]]`` representation remains available
+through :meth:`ModelChecker.check` (a thin :func:`~repro.core.bitset.to_level_sets`
+adapter over :meth:`ModelChecker.check_bits`) and, as an executable
+specification, through :class:`repro.core.reference.SetChecker`.
 
 Semantics of the operators (Section 2 of the paper):
 
@@ -26,8 +39,9 @@ Semantics of the operators (Section 2 of the paper):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.bitset import BitSat, blocks_within, to_level_sets
 from repro.logic.formula import (
     Always,
     And,
@@ -54,7 +68,9 @@ from repro.logic.formula import (
 )
 from repro.systems.space import LevelledSpace, Point
 
-#: A satisfaction set: one set of state indices per built time level.
+#: The legacy satisfaction-set form: one set of state indices per built level.
+#: Produced by :meth:`ModelChecker.check`; the engine itself works on
+#: :data:`~repro.core.bitset.BitSat`.
 SatSet = List[Set[int]]
 
 
@@ -63,45 +79,65 @@ class ModelChecker:
 
     def __init__(self, space: LevelledSpace) -> None:
         self.space = space
-        self._cache: Dict[Formula, SatSet] = {}
+        self._bit_cache: Dict[Formula, BitSat] = {}
+        self._set_cache: Dict[Formula, SatSet] = {}
 
     # ----------------------------------------------------------------- queries
 
-    def check(self, formula: Formula) -> SatSet:
-        """The satisfaction set of a closed formula over all built levels."""
+    def check_bits(self, formula: Formula) -> BitSat:
+        """The packed satisfaction set of a closed formula (one int per level).
+
+        This is the engine's native representation; bit ``j`` of entry
+        ``time`` is set iff the formula holds at point ``(time, j)``.
+        """
         check_positive(formula)
         return self._eval(formula, {})
+
+    def check(self, formula: Formula) -> SatSet:
+        """The satisfaction set of a closed formula over all built levels.
+
+        Legacy adapter: unpacks :meth:`check_bits` into per-level
+        ``Set[int]`` objects.  The unpacked form is memoized as well, so
+        repeated calls return the same object.
+        """
+        cached = self._set_cache.get(formula)
+        if cached is None:
+            cached = to_level_sets(self.check_bits(formula))
+            self._set_cache[formula] = cached
+        return cached
 
     def holds_at(self, formula: Formula, point: Point) -> bool:
         """Whether the formula holds at a specific point."""
         time, index = point
-        return index in self.check(formula)[time]
+        return bool((self.check_bits(formula)[time] >> index) & 1)
 
     def holds_initially(self, formula: Formula) -> bool:
         """Whether the formula holds at every initial (time 0) point.
 
         This is the satisfaction notion used for MCK ``spec`` statements.
         """
-        satisfied = self.check(formula)[0]
-        return len(satisfied) == len(self.space.levels[0])
+        return self.check_bits(formula)[0] == self.space.level_mask(0)
 
     def holds_everywhere(self, formula: Formula) -> bool:
         """Whether the formula holds at every reachable point."""
-        sat = self.check(formula)
+        bits = self.check_bits(formula)
         return all(
-            len(sat[time]) == len(level) for time, level in enumerate(self.space.levels)
+            bits[time] == self.space.level_mask(time)
+            for time in range(len(self.space.levels))
         )
 
     def counterexamples(self, formula: Formula, limit: Optional[int] = None) -> List[Point]:
         """Points at which the formula fails (up to ``limit`` of them)."""
-        sat = self.check(formula)
+        bits = self.check_bits(formula)
         found: List[Point] = []
         for time, level in enumerate(self.space.levels):
-            for index in range(len(level)):
-                if index not in sat[time]:
-                    found.append((time, index))
-                    if limit is not None and len(found) >= limit:
-                        return found
+            failing = self.space.level_mask(time) & ~bits[time]
+            while failing:
+                low = failing & -failing
+                found.append((time, low.bit_length() - 1))
+                if limit is not None and len(found) >= limit:
+                    return found
+                failing ^= low
         return found
 
     def satisfying_observations(
@@ -114,12 +150,12 @@ class ModelChecker:
         exactly the observations at which the agent's knowledge condition
         holds — the raw material of synthesis.
         """
-        satisfied = self.check(formula)[time]
-        groups = self.space.observation_groups(time, agent)
+        satisfied = self.check_bits(formula)[time]
+        masks = self.space.observation_masks(time, agent)
         return {
             observation
-            for observation, members in groups.items()
-            if all(index in satisfied for index in members)
+            for observation, block in masks.items()
+            if not block & ~satisfied
         }
 
     # -------------------------------------------------------------- evaluation
@@ -127,22 +163,25 @@ class ModelChecker:
     def _levels(self) -> int:
         return len(self.space.levels)
 
-    def _full(self) -> SatSet:
-        return [set(range(len(level))) for level in self.space.levels]
+    def _masks(self) -> List[int]:
+        return [self.space.level_mask(time) for time in range(self._levels())]
 
-    def _empty(self) -> SatSet:
-        return [set() for _ in self.space.levels]
+    def _full(self) -> BitSat:
+        return self._masks()
 
-    def _eval(self, formula: Formula, env: Dict[str, SatSet]) -> SatSet:
+    def _empty(self) -> BitSat:
+        return [0] * self._levels()
+
+    def _eval(self, formula: Formula, env: Dict[str, BitSat]) -> BitSat:
         cacheable = not env
-        if cacheable and formula in self._cache:
-            return self._cache[formula]
+        if cacheable and formula in self._bit_cache:
+            return self._bit_cache[formula]
         result = self._eval_uncached(formula, env)
         if cacheable:
-            self._cache[formula] = result
+            self._bit_cache[formula] = result
         return result
 
-    def _eval_uncached(self, formula: Formula, env: Dict[str, SatSet]) -> SatSet:
+    def _eval_uncached(self, formula: Formula, env: Dict[str, BitSat]) -> BitSat:
         if isinstance(formula, Top):
             return self._full()
         if isinstance(formula, Bottom):
@@ -152,12 +191,12 @@ class ModelChecker:
         if isinstance(formula, Var):
             if formula.name not in env:
                 raise ValueError(f"unbound fixpoint variable {formula.name!r}")
-            return [set(level) for level in env[formula.name]]
+            return list(env[formula.name])
         if isinstance(formula, Not):
             operand = self._eval(formula.operand, env)
             return [
-                set(range(len(level))) - operand[time]
-                for time, level in enumerate(self.space.levels)
+                self.space.level_mask(time) & ~operand[time]
+                for time in range(self._levels())
             ]
         if isinstance(formula, And):
             result = self._full()
@@ -175,20 +214,16 @@ class ModelChecker:
             antecedent = self._eval(formula.antecedent, env)
             consequent = self._eval(formula.consequent, env)
             return [
-                (set(range(len(level))) - antecedent[time]) | consequent[time]
-                for time, level in enumerate(self.space.levels)
+                (self.space.level_mask(time) & ~antecedent[time]) | consequent[time]
+                for time in range(self._levels())
             ]
         if isinstance(formula, Iff):
             left = self._eval(formula.left, env)
             right = self._eval(formula.right, env)
-            result = []
-            for time, level in enumerate(self.space.levels):
-                everything = set(range(len(level)))
-                agree = (left[time] & right[time]) | (
-                    (everything - left[time]) & (everything - right[time])
-                )
-                result.append(agree)
-            return result
+            return [
+                self.space.level_mask(time) & ~(left[time] ^ right[time])
+                for time in range(self._levels())
+            ]
         if isinstance(formula, Knows):
             return self._eval_knows(formula.agent, formula.operand, env, relative=False)
         if isinstance(formula, KnowsNonfaulty):
@@ -215,190 +250,159 @@ class ModelChecker:
 
     # -- atomic propositions --------------------------------------------------
 
-    def _eval_atom(self, atom: Atom) -> SatSet:
-        result: SatSet = []
-        for time, level in enumerate(self.space.levels):
-            satisfied = {
-                index
-                for index in range(len(level))
-                if self.space.eval_atom((time, index), atom.key)
-            }
-            result.append(satisfied)
-        return result
+    def _eval_atom(self, atom: Atom) -> BitSat:
+        # Packed atom interpretations are computed and cached on the space
+        # (per level and key), so they are shared by every checker over the
+        # same space — e.g. the spec checker and the implementation verifier
+        # of one harness task.
+        key = atom.key
+        return [
+            self.space.atom_mask(time, key) for time in range(len(self.space.levels))
+        ]
 
-    # -- epistemic operators ----------------------------------------------------
+    # -- epistemic operators --------------------------------------------------
+
+    def _knows_bits_at(
+        self, time: int, agent: int, target: int, relative: bool
+    ) -> int:
+        """States of one level where ``K_agent`` (or ``B^N_agent``) of a packed
+        target set holds.
+
+        A whole observation block satisfies the operator iff no block member
+        (restricted to the nonfaulty states for the relative reading) falls
+        outside the target — two mask operations per block.
+        """
+        restrict = self.space.nonfaulty_mask(time, agent) if relative else -1
+        return blocks_within(
+            self.space.observation_masks(time, agent).values(), restrict, target
+        )
 
     def _eval_knows(
-        self, agent: int, operand: Formula, env: Dict[str, SatSet], relative: bool
-    ) -> SatSet:
+        self, agent: int, operand: Formula, env: Dict[str, BitSat], relative: bool
+    ) -> BitSat:
         operand_sat = self._eval(operand, env)
-        result: SatSet = []
-        for time in range(self._levels()):
-            groups = self.space.observation_groups(time, agent)
-            satisfied: Set[int] = set()
-            for members in groups.values():
-                if relative:
-                    holds = all(
-                        (not self.space.nonfaulty((time, index), agent))
-                        or index in operand_sat[time]
-                        for index in members
-                    )
-                else:
-                    holds = all(index in operand_sat[time] for index in members)
-                if holds:
-                    satisfied.update(members)
-            result.append(satisfied)
+        return [
+            self._knows_bits_at(time, agent, operand_sat[time], relative)
+            for time in range(self._levels())
+        ]
+
+    def _everyone_believes_bits_at(self, time: int, target: int) -> int:
+        """``EB_N`` applied to one level's packed target set.
+
+        A point satisfies ``EB_N`` iff every agent that is nonfaulty *at that
+        point* believes the target, i.e. the intersection over agents of
+        ``believes(agent) | ~nonfaulty(agent)``.
+        """
+        result = self.space.level_mask(time)
+        for agent in range(self.space.model.num_agents):
+            believes = self._knows_bits_at(time, agent, target, relative=True)
+            result &= believes | (result & ~self.space.nonfaulty_mask(time, agent))
+            if not result:
+                break
         return result
 
     def _eval_everyone_believes(
-        self, operand: Formula, env: Dict[str, SatSet]
-    ) -> SatSet:
-        num_agents = self.space.model.num_agents
-        beliefs = [
-            self._eval_knows(agent, operand, env, relative=True)
-            for agent in range(num_agents)
-        ]
-        result: SatSet = []
-        for time, level in enumerate(self.space.levels):
-            satisfied: Set[int] = set()
-            for index in range(len(level)):
-                point = (time, index)
-                believers_ok = all(
-                    index in beliefs[agent][time]
-                    for agent in range(num_agents)
-                    if self.space.nonfaulty(point, agent)
-                )
-                if believers_ok:
-                    satisfied.add(index)
-            result.append(satisfied)
-        return result
-
-    def _eval_common_belief(self, operand: Formula, env: Dict[str, SatSet]) -> SatSet:
+        self, operand: Formula, env: Dict[str, BitSat]
+    ) -> BitSat:
         operand_sat = self._eval(operand, env)
-        current = self._full()
-        while True:
-            # EB_N (phi /\ X), with phi and X already evaluated to sets.
-            conjunction = [operand_sat[time] & current[time] for time in range(self._levels())]
-            next_set = self._everyone_believes_sets(conjunction)
-            if next_set == current:
-                return current
-            current = next_set
+        return [
+            self._everyone_believes_bits_at(time, operand_sat[time])
+            for time in range(self._levels())
+        ]
 
-    def _everyone_believes_sets(self, target: SatSet) -> SatSet:
-        """``EB_N`` applied to an already-computed satisfaction set."""
-        num_agents = self.space.model.num_agents
-        result: SatSet = []
-        for time, level in enumerate(self.space.levels):
-            groups = [
-                self.space.observation_groups(time, agent) for agent in range(num_agents)
-            ]
-            # For each agent, the set of states where B^N_agent(target) holds.
-            believes: List[Set[int]] = []
-            for agent in range(num_agents):
-                satisfied: Set[int] = set()
-                for members in groups[agent].values():
-                    holds = all(
-                        (not self.space.nonfaulty((time, index), agent))
-                        or index in target[time]
-                        for index in members
-                    )
-                    if holds:
-                        satisfied.update(members)
-                believes.append(satisfied)
-            level_result: Set[int] = set()
-            for index in range(len(level)):
-                point = (time, index)
-                if all(
-                    index in believes[agent]
-                    for agent in range(num_agents)
-                    if self.space.nonfaulty(point, agent)
-                ):
-                    level_result.add(index)
-            result.append(level_result)
+    def _eval_common_belief(self, operand: Formula, env: Dict[str, BitSat]) -> BitSat:
+        operand_sat = self._eval(operand, env)
+        # The fixpoint is per level: EB_N only relates points of the same
+        # time, so each level's greatest fixpoint can be iterated on its own
+        # bitmask until it stabilises.
+        result: BitSat = []
+        for time in range(self._levels()):
+            current = self.space.level_mask(time)
+            while True:
+                next_bits = self._everyone_believes_bits_at(
+                    time, operand_sat[time] & current
+                )
+                if next_bits == current:
+                    break
+                current = next_bits
+            result.append(current)
         return result
 
-    def _eval_nu(self, formula: Nu, env: Dict[str, SatSet]) -> SatSet:
+    def _eval_nu(self, formula: Nu, env: Dict[str, BitSat]) -> BitSat:
         current = self._full()
         while True:
             inner = dict(env)
             inner[formula.variable] = current
-            next_set = self._eval(formula.operand, inner)
-            if next_set == current:
+            next_bits = self._eval(formula.operand, inner)
+            if next_bits == current:
                 return current
-            current = next_set
+            current = next_bits
 
-    # -- temporal operators -----------------------------------------------------
+    # -- temporal operators ---------------------------------------------------
 
-    def _successor_sets(self, time: int) -> Sequence[List[int]]:
-        """Successor index lists at ``time``; final level is absorbing."""
-        if time < len(self.space.successors):
-            return self.space.successors[time]
-        return [[index] for index in range(len(self.space.levels[time]))]
+    def _exist_step(self, time: int, target: int) -> int:
+        """States at ``time`` with some successor inside the packed target set.
+
+        Unions the predecessor masks of the target's set bits — linear in the
+        *population* of the target rather than in the size of the level.
+        """
+        predecessors = self.space.predecessor_masks(time)
+        bits = 0
+        while target:
+            low = target & -target
+            bits |= predecessors[low.bit_length() - 1]
+            target ^= low
+        return bits
+
+    def _step_bits(self, time: int, target: int, universal: bool) -> int:
+        """States at ``time`` whose successors (all/some) satisfy ``target``.
+
+        The universal step is the complement of "some successor misses the
+        target", so both readings reduce to :meth:`_exist_step`; the universal
+        one iterates the complement of the target, which is typically sparse
+        for the paper's ``AG``-shaped specifications.  Only called for levels
+        with built successor edges (the final level is absorbing and handled
+        by the callers directly).
+        """
+        if universal:
+            bad = self.space.level_mask(time + 1) & ~target
+            return self.space.level_mask(time) & ~self._exist_step(time, bad)
+        return self._exist_step(time, target)
 
     def _eval_next(
-        self, operand: Formula, env: Dict[str, SatSet], universal: bool
-    ) -> SatSet:
+        self, operand: Formula, env: Dict[str, BitSat], universal: bool
+    ) -> BitSat:
         operand_sat = self._eval(operand, env)
-        result: SatSet = []
         last = self._levels() - 1
-        for time, level in enumerate(self.space.levels):
-            satisfied: Set[int] = set()
-            successors = self._successor_sets(time)
-            target_time = time + 1 if time < last else time
-            for index in range(len(level)):
-                targets = successors[index]
-                if universal:
-                    holds = all(target in operand_sat[target_time] for target in targets)
-                else:
-                    holds = any(target in operand_sat[target_time] for target in targets)
-                if holds:
-                    satisfied.add(index)
-            result.append(satisfied)
+        result: BitSat = [
+            self._step_bits(time, operand_sat[time + 1], universal)
+            for time in range(last)
+        ]
+        # The final level is absorbing (each point its own successor), so
+        # AX phi and EX phi both coincide with phi there.
+        result.append(operand_sat[last])
         return result
 
     def _eval_globally(
-        self, operand: Formula, env: Dict[str, SatSet], universal: bool
-    ) -> SatSet:
+        self, operand: Formula, env: Dict[str, BitSat], universal: bool
+    ) -> BitSat:
         operand_sat = self._eval(operand, env)
         last = self._levels() - 1
-        result: SatSet = [set() for _ in range(self._levels())]
-        result[last] = set(operand_sat[last])
+        result: BitSat = [0] * self._levels()
+        result[last] = operand_sat[last]
         for time in range(last - 1, -1, -1):
-            successors = self._successor_sets(time)
-            satisfied: Set[int] = set()
-            for index in range(len(self.space.levels[time])):
-                if index not in operand_sat[time]:
-                    continue
-                targets = successors[index]
-                if universal:
-                    holds = all(target in result[time + 1] for target in targets)
-                else:
-                    holds = any(target in result[time + 1] for target in targets)
-                if holds:
-                    satisfied.add(index)
-            result[time] = satisfied
+            step = self._step_bits(time, result[time + 1], universal)
+            result[time] = operand_sat[time] & step
         return result
 
     def _eval_eventually(
-        self, operand: Formula, env: Dict[str, SatSet], universal: bool
-    ) -> SatSet:
+        self, operand: Formula, env: Dict[str, BitSat], universal: bool
+    ) -> BitSat:
         operand_sat = self._eval(operand, env)
         last = self._levels() - 1
-        result: SatSet = [set() for _ in range(self._levels())]
-        result[last] = set(operand_sat[last])
+        result: BitSat = [0] * self._levels()
+        result[last] = operand_sat[last]
         for time in range(last - 1, -1, -1):
-            successors = self._successor_sets(time)
-            satisfied: Set[int] = set()
-            for index in range(len(self.space.levels[time])):
-                if index in operand_sat[time]:
-                    satisfied.add(index)
-                    continue
-                targets = successors[index]
-                if universal:
-                    holds = all(target in result[time + 1] for target in targets)
-                else:
-                    holds = any(target in result[time + 1] for target in targets)
-                if holds:
-                    satisfied.add(index)
-            result[time] = satisfied
+            step = self._step_bits(time, result[time + 1], universal)
+            result[time] = operand_sat[time] | step
         return result

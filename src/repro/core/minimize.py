@@ -15,7 +15,7 @@ minimal size, which is acceptable for presentation purposes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: An implicant over ``k`` boolean variables: a tuple with one entry per
 #: variable, each ``True`` (positive literal), ``False`` (negative literal) or
@@ -131,37 +131,40 @@ def minimise(
 
     primes = prime_implicants(num_variables, on_set, dc_set)
 
-    coverage: Dict[Implicant, FrozenSet[int]] = {}
+    # Coverage bookkeeping on packed bitmasks: bit p of a coverage mask stands
+    # for on-set minterm on_set[p], so subset/overlap tests on the greedy
+    # cover are single integer operations.
+    coverage: Dict[Implicant, int] = {}
     for prime in primes:
-        covered = frozenset(
-            term
-            for term in on_set
-            if _implicant_matches(prime, _minterm_to_implicant(term, num_variables))
-        )
+        covered = 0
+        for position, term in enumerate(on_set):
+            if _implicant_matches(prime, _minterm_to_implicant(term, num_variables)):
+                covered |= 1 << position
         if covered:
             coverage[prime] = covered
 
     chosen: List[Implicant] = []
-    uncovered: Set[int] = set(on_set)
+    uncovered = (1 << len(on_set)) - 1
 
     # Essential prime implicants first.
-    for term in on_set:
-        covering = [prime for prime, covered in coverage.items() if term in covered]
+    for position in range(len(on_set)):
+        term_bit = 1 << position
+        covering = [prime for prime, covered in coverage.items() if covered & term_bit]
         if len(covering) == 1 and covering[0] not in chosen:
             chosen.append(covering[0])
-            uncovered -= coverage[covering[0]]
+            uncovered &= ~coverage[covering[0]]
 
     # Greedy cover for the rest.
     while uncovered:
         best = max(
             coverage.items(),
-            key=lambda item: (len(item[1] & uncovered), -_specificity(item[0])),
+            key=lambda item: ((item[1] & uncovered).bit_count(), -_specificity(item[0])),
         )[0]
         if not coverage[best] & uncovered:
             # No progress is possible; should not happen, but guard anyway.
             break
         chosen.append(best)
-        uncovered -= coverage[best]
+        uncovered &= ~coverage[best]
 
     ordered = tuple(sorted(set(chosen), key=_implicant_sort_key))
     return Cover(num_variables=num_variables, implicants=ordered)

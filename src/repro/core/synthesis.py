@@ -25,11 +25,12 @@ Two programs from the paper are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.bitset import blocks_within
 from repro.core.checker import ModelChecker
 from repro.core.predicates import ConditionTable, build_predicate
-from repro.logic.atoms import decides_now, init_is, some_decided_value
+from repro.logic.atoms import decides_now
 from repro.logic.builders import big_or, neg
 from repro.logic.formula import EvEventually, Knows
 from repro.systems.actions import Action, JointAction, NOOP
@@ -89,68 +90,50 @@ class SBASynthesisResult:
 
 def _level_knowledge_conditions(
     space: LevelledSpace, level: int
-) -> Dict[Tuple[int, int], Set[int]]:
+) -> Dict[Tuple[int, int], int]:
     """Satisfaction of ``B^N_i CB_N ∃v`` per (agent, value) at one level.
 
     This is a specialised evaluator that works on a single level only, which
     is all the clock semantics requires; it avoids re-evaluating lower levels
-    on every synthesis step.
+    on every synthesis step.  Satisfaction is returned and manipulated as a
+    packed bitmask per (agent, value) — bit ``j`` stands for state ``j`` of
+    the level — using the observation-partition block masks cached on the
+    space, so the ``EB_N`` fixpoint iterates over machine-word operations.
     """
     model = space.model
-    states = space.levels[level]
-    num_states = len(states)
-    everything = set(range(num_states))
+    full = space.level_mask(level)
 
-    nonfaulty = [
-        [model.nonfaulty(state, agent) for agent in model.agents()] for state in states
+    nonfaulty_masks = [space.nonfaulty_mask(level, agent) for agent in model.agents()]
+    block_masks = [
+        list(space.observation_masks(level, agent).values()) for agent in model.agents()
     ]
-    groups = [space.observation_groups(level, agent) for agent in model.agents()]
 
-    def everyone_believes(target: Set[int]) -> Set[int]:
-        believes: List[Set[int]] = []
+    def everyone_believes(target: int) -> int:
+        result = full
         for agent in model.agents():
-            satisfied: Set[int] = set()
-            for members in groups[agent].values():
-                if all(
-                    (not nonfaulty[index][agent]) or index in target for index in members
-                ):
-                    satisfied.update(members)
-            believes.append(satisfied)
-        result: Set[int] = set()
-        for index in range(num_states):
-            if all(
-                index in believes[agent]
-                for agent in model.agents()
-                if nonfaulty[index][agent]
-            ):
-                result.add(index)
+            restrict = nonfaulty_masks[agent]
+            believes = blocks_within(block_masks[agent], restrict, target)
+            result &= believes | (full & ~restrict)
+            if not result:
+                break
         return result
 
-    conditions: Dict[Tuple[int, int], Set[int]] = {}
+    conditions: Dict[Tuple[int, int], int] = {}
     for value in model.values():
-        exists_value_set = {
-            index
-            for index, state in enumerate(states)
-            if any(local.init == value for local in state.locals)
-        }
+        exists_value_bits = space.atom_mask(level, ("exists", value))
         # Greatest fixpoint of X -> EB_N(exists_v /\ X), within the level.
-        current = set(everything)
+        current = full
         while True:
-            next_set = everyone_believes(exists_value_set & current)
-            if next_set == current:
+            next_bits = everyone_believes(exists_value_bits & current)
+            if next_bits == current:
                 break
-            current = next_set
+            current = next_bits
         common_belief = current
         # B^N_i CB_N exists_v, per agent.
         for agent in model.agents():
-            satisfied: Set[int] = set()
-            for members in groups[agent].values():
-                if all(
-                    (not nonfaulty[index][agent]) or index in common_belief
-                    for index in members
-                ):
-                    satisfied.update(members)
-            conditions[(agent, value)] = satisfied
+            conditions[(agent, value)] = blocks_within(
+                block_masks[agent], nonfaulty_masks[agent], common_belief
+            )
     return conditions
 
 
@@ -180,7 +163,7 @@ def synthesize_sba(
                 representative = members[0]
                 chosen: Action = NOOP
                 for value in model.values():
-                    if representative in level_conditions[(agent, value)]:
+                    if (level_conditions[(agent, value)] >> representative) & 1:
                         chosen = value
                         break
                 decision_table[observation] = chosen
@@ -190,7 +173,7 @@ def synthesize_sba(
                 positive = {
                     observation
                     for observation, members in groups.items()
-                    if members[0] in level_conditions[(agent, value)]
+                    if (level_conditions[(agent, value)] >> members[0]) & 1
                 }
                 conditions.add(
                     build_predicate(agent, level, positive, reachable, features_of),
@@ -241,26 +224,21 @@ class EBASynthesisResult:
 
 def _decide_zero_conditions_at_level(
     space: LevelledSpace, level: int
-) -> Dict[int, Set[int]]:
-    """Satisfaction of ``init_i = 0 \\/ K_i(some agent has decided 0)`` per agent."""
+) -> Dict[int, int]:
+    """Satisfaction of ``init_i = 0 \\/ K_i(some agent has decided 0)`` per agent.
+
+    Returned as a packed bitmask per agent (bit ``j`` = state ``j`` of the
+    level), like :func:`_level_knowledge_conditions`.  The atom bitmasks come
+    from the space's cache, so the two calls per EBA pass share the scans.
+    """
     model = space.model
-    states = space.levels[level]
-    some_decided_zero = {
-        index
-        for index, state in enumerate(states)
-        if any(local.decided and local.decision == 0 for local in state.locals)
-    }
-    conditions: Dict[int, Set[int]] = {}
+    some_decided_zero = space.atom_mask(level, ("some_decided", 0))
+    conditions: Dict[int, int] = {}
     for agent in model.agents():
-        groups = space.observation_groups(level, agent)
-        knows: Set[int] = set()
-        for members in groups.values():
-            if all(index in some_decided_zero for index in members):
-                knows.update(members)
-        init_zero = {
-            index for index, state in enumerate(states) if state.locals[agent].init == 0
-        }
-        conditions[agent] = knows | init_zero
+        knows = blocks_within(
+            space.observation_masks(level, agent).values(), -1, some_decided_zero
+        )
+        conditions[agent] = knows | space.atom_mask(level, ("init", agent, 0))
     return conditions
 
 
@@ -284,13 +262,12 @@ def _eba_pass(
 
     for level in range(space.horizon + 1):
         zero_conditions = _decide_zero_conditions_at_level(space, level)
-        states = space.levels[level]
         for agent in model.agents():
             groups = space.observation_groups(level, agent)
             decision_table: Dict[Tuple, Action] = {}
             for observation, members in groups.items():
                 representative = members[0]
-                if representative in zero_conditions[agent]:
+                if (zero_conditions[agent] >> representative) & 1:
                     decision_table[observation] = 0
                 elif prior_rule is not None:
                     decision_table[observation] = prior_rule.action_for(
@@ -318,7 +295,7 @@ def _eba_pass(
         states = space.levels[level]
         for agent in model.agents():
             no_future_zero = Knows(agent, neg(future_zero))
-            knows_safe = checker.check(no_future_zero)[level]
+            knows_safe = checker.check_bits(no_future_zero)[level]
             groups = space.observation_groups(level, agent)
             reachable = set(groups)
             features_of = {
@@ -330,10 +307,10 @@ def _eba_pass(
             one_positive = set()
             for observation, members in groups.items():
                 representative = members[0]
-                if representative in zero_conditions[agent]:
+                if (zero_conditions[agent] >> representative) & 1:
                     decision_table[observation] = 0
                     zero_positive.add(observation)
-                elif representative in knows_safe:
+                elif (knows_safe >> representative) & 1:
                     decision_table[observation] = 1
                     one_positive.add(observation)
                 else:

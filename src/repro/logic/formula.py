@@ -396,6 +396,50 @@ class EvEventually(Formula):
 
 
 # ---------------------------------------------------------------------------
+# Structural hashing
+# ---------------------------------------------------------------------------
+#
+# Formula nodes are used pervasively as dictionary keys: the model checker
+# memoizes satisfaction sets per formula, and synthesis re-poses structurally
+# identical knowledge queries on every round.  The dataclass-generated
+# ``__hash__`` walks the whole subtree on every call, which turns each cache
+# lookup into an O(|formula|) traversal.  Since the nodes are immutable, the
+# structural hash can be computed once and pinned on the instance; child
+# hashes are themselves cached, so a tree of n nodes is hashed in O(n) total
+# over its lifetime instead of O(n) per lookup.
+
+def _caching_hash(generated_hash):
+    def __hash__(self):
+        try:
+            return object.__getattribute__(self, "_structural_hash")
+        except AttributeError:
+            value = generated_hash(self)
+            object.__setattr__(self, "_structural_hash", value)
+            return value
+
+    return __hash__
+
+
+# Patch every node class that defines its own (dataclass-generated) __hash__;
+# walking Formula.__subclasses__() here — after all node definitions — keeps
+# the registry automatic, so a newly added operator cannot miss the caching.
+for _node_type in Formula.__subclasses__():
+    _generated = _node_type.__dict__.get("__hash__")
+    if _generated is not None:
+        _node_type.__hash__ = _caching_hash(_generated)
+del _node_type, _generated
+
+
+def structural_hash(formula: Formula) -> int:
+    """The memoized structural hash of a formula.
+
+    Equal to ``hash(formula)``; exposed under an explicit name because the
+    checker's formula-level memoization is keyed on it.
+    """
+    return hash(formula)
+
+
+# ---------------------------------------------------------------------------
 # Well-formedness checks
 # ---------------------------------------------------------------------------
 

@@ -107,7 +107,13 @@ class InformationExchange(ABC):
         (for example ``values_received[0]`` or ``count``), and the values are
         the current values of those variables.  Features must determine the
         observation: two local states with equal feature mappings must have
-        equal observations.
+        equal observations.  The converse is required as well — the features
+        must be a *function of* the observation, i.e. two local states with
+        equal observations must have equal feature mappings — because both
+        the predicates layer (:class:`repro.core.predicates.ObservationPredicate`
+        keys features by observation) and the checker's ``obs`` atom masks
+        (:meth:`repro.systems.space.LevelledSpace.atom_mask`) evaluate
+        features once per observation group.
         """
 
     # -- defaults -------------------------------------------------------------

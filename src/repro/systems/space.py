@@ -25,6 +25,14 @@ from repro.systems.model import BAModel, GlobalState
 Point = Tuple[int, int]
 
 
+def _pack(indices) -> int:
+    """Pack an iterable of state indices into a bitmask."""
+    bits = 0
+    for index in indices:
+        bits |= 1 << index
+    return bits
+
+
 class SpaceBudgetExceeded(RuntimeError):
     """Raised when a state-space build exceeds its configured state budget.
 
@@ -186,16 +194,20 @@ class LevelledSpace:
 
     # ------------------------------------------------------- observation groups
 
+    def _cache(self, name: str) -> Dict:
+        cache = getattr(self, name, None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, name, cache)
+        return cache
+
     def observation_groups(self, time: int, agent: int) -> Dict[Tuple, List[int]]:
         """Group the states at ``time`` by the observation of ``agent``.
 
         The groups are the clock-semantics indistinguishability classes for
         the agent at that time.  Results are cached.
         """
-        cache = getattr(self, "_group_cache", None)
-        if cache is None:
-            cache = {}
-            object.__setattr__(self, "_group_cache", cache)
+        cache = self._cache("_group_cache")
         cache_key = (time, agent)
         if cache_key in cache:
             return cache[cache_key]
@@ -206,10 +218,192 @@ class LevelledSpace:
         cache[cache_key] = groups
         return groups
 
+    # --------------------------------------------------------- packed bitmasks
+    #
+    # The fast satisfaction engine (repro.core.checker) represents a subset of
+    # the states of a level as a single arbitrary-precision int (bit j <->
+    # state j).  The masks below are the per-(level, agent) inputs of the
+    # epistemic operators, precomputed once and cached: levels are append-only,
+    # so a mask computed for an already-built level never becomes stale.
+
+    def level_mask(self, time: int) -> int:
+        """The full bitmask of a level (all states set)."""
+        cache = self._cache("_level_mask_cache")
+        mask = cache.get(time)
+        if mask is None:
+            mask = (1 << len(self.levels[time])) - 1
+            cache[time] = mask
+        return mask
+
+    def observation_masks(self, time: int, agent: int) -> Dict[Tuple, int]:
+        """The observation partition of ``agent`` at ``time`` as block bitmasks.
+
+        Maps each reachable observation to the bitmask of the states sharing
+        it — the packed form of :meth:`observation_groups`, and the unit over
+        which ``Knows`` quantifies.  The lowest set bit of a block is the
+        group's representative state (``members[0]`` of the list form).
+        """
+        cache = self._cache("_obs_mask_cache")
+        cache_key = (time, agent)
+        masks = cache.get(cache_key)
+        if masks is None:
+            masks = {
+                observation: _pack(members)
+                for observation, members in self.observation_groups(time, agent).items()
+            }
+            cache[cache_key] = masks
+        return masks
+
+    def nonfaulty_mask(self, time: int, agent: int) -> int:
+        """Bitmask of the states at ``time`` where ``agent`` is nonfaulty."""
+        cache = self._cache("_nonfaulty_mask_cache")
+        cache_key = (time, agent)
+        mask = cache.get(cache_key)
+        if mask is None:
+            mask = _pack(
+                index
+                for index, state in enumerate(self.levels[time])
+                if self.model.nonfaulty(state, agent)
+            )
+            cache[cache_key] = mask
+        return mask
+
+    def predecessor_masks(self, time: int) -> List[int]:
+        """Per state of ``time+1``, the bitmask of its predecessors at ``time``.
+
+        The transposed form of the successor relation: entry ``j`` is the
+        mask of states at ``time`` with state ``j`` of ``time+1`` among their
+        successors.  Only valid for levels whose successor edges have been
+        built (``time < len(self.successors)``).  The checker's temporal
+        steps iterate over the set bits of a target set and union these
+        masks, which beats a per-state scan whenever the target (or its
+        complement) is sparse.
+        """
+        cache = self._cache("_pred_mask_cache")
+        masks = cache.get(time)
+        if masks is None:
+            masks = [0] * len(self.levels[time + 1])
+            for index, targets in enumerate(self.successors[time]):
+                bit = 1 << index
+                for target in targets:
+                    masks[target] |= bit
+            cache[time] = masks
+        return masks
+
+    def atom_mask(self, time: int, key: Hashable) -> int:
+        """One level's interpretation of an atomic proposition, packed.
+
+        The packed, cached sibling of :meth:`eval_atom`: bit ``j`` is set iff
+        the atom holds at point ``(time, j)``.  The structured keys of
+        :mod:`repro.logic.atoms` are dispatched once per level rather than
+        once per state (the generic :meth:`BAModel.eval_atom` re-inspects the
+        key at every point, which dominates checking time on large levels);
+        observation-feature atoms are evaluated once per observation block,
+        since all states of a block share the observation and hence the
+        features.  Unknown keys fall back to the model's general interpreter.
+
+        Results are cached per (time, key): levels and their recorded actions
+        are append-only, so a computed mask never goes stale.
+        """
+        cache = self._cache("_atom_mask_cache")
+        cache_key = (time, key)
+        bits = cache.get(cache_key)
+        if bits is None:
+            bits = self._compute_atom_mask(time, key)
+            cache[cache_key] = bits
+        return bits
+
+    def _compute_atom_mask(self, time: int, key: Hashable) -> int:
+        states = self.levels[time]
+        kind = key[0] if isinstance(key, tuple) and key else key
+        bits = 0
+        if kind == "init":
+            _, agent, value = key
+            for index, state in enumerate(states):
+                if state.locals[agent].init == value:
+                    bits |= 1 << index
+        elif kind == "exists":
+            _, value = key
+            for index, state in enumerate(states):
+                for local in state.locals:
+                    if local.init == value:
+                        bits |= 1 << index
+                        break
+        elif kind == "decided":
+            _, agent = key
+            for index, state in enumerate(states):
+                if state.locals[agent].decided:
+                    bits |= 1 << index
+        elif kind == "decision":
+            _, agent, value = key
+            for index, state in enumerate(states):
+                local = state.locals[agent]
+                if local.decided and local.decision == value:
+                    bits |= 1 << index
+        elif kind == "some_decided":
+            _, value = key
+            for index, state in enumerate(states):
+                for local in state.locals:
+                    if local.decided and local.decision == value:
+                        bits |= 1 << index
+                        break
+        elif kind == "decides_now":
+            _, agent, value = key
+            if time >= len(self.actions):
+                # No actions recorded for this level: delegate so the error
+                # reporting matches the general interpreter.
+                return self._atom_mask_fallback(time, key)
+            actions = self.actions[time]
+            for index in range(len(states)):
+                if actions[index][agent] == value:
+                    bits |= 1 << index
+        elif kind == "nonfaulty":
+            _, agent = key
+            bits = self.nonfaulty_mask(time, agent)
+        elif kind == "time":
+            _, when = key
+            bits = self.level_mask(time) if time == when else 0
+        elif kind == "obs":
+            # Evaluated once per observation block: states sharing an
+            # observation share its features.  This is the invariant the
+            # whole predicates layer rests on (ObservationPredicate keys
+            # features by observation); an exchange whose features are not a
+            # function of the observation would break both.
+            _, agent, feature, value = key
+            groups = self.observation_groups(time, agent)
+            masks = self.observation_masks(time, agent)
+            for observation, members in groups.items():
+                features = self.model.observation_features(states[members[0]], agent)
+                if feature not in features:
+                    raise KeyError(
+                        f"unknown observable feature {feature!r} for exchange "
+                        f"{self.model.exchange.name!r}"
+                    )
+                if features[feature] == value:
+                    bits |= masks[observation]
+        else:
+            return self._atom_mask_fallback(time, key)
+        return bits
+
+    def _atom_mask_fallback(self, time: int, key: Hashable) -> int:
+        bits = 0
+        for index in range(len(self.levels[time])):
+            if self.eval_atom((time, index), key):
+                bits |= 1 << index
+        return bits
+
     def invalidate_caches(self) -> None:
-        """Drop cached observation groups (after mutating the space)."""
-        if hasattr(self, "_group_cache"):
-            object.__setattr__(self, "_group_cache", {})
+        """Drop cached observation groups and bitmasks (after mutating states)."""
+        for name in (
+            "_group_cache",
+            "_level_mask_cache",
+            "_obs_mask_cache",
+            "_nonfaulty_mask_cache",
+            "_pred_mask_cache",
+            "_atom_mask_cache",
+        ):
+            if hasattr(self, name):
+                object.__setattr__(self, name, {})
 
 
 # ---------------------------------------------------------------------------

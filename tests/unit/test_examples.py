@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs headlessly against the public API.
+
+Each example under ``examples/`` is executed in-process as ``__main__`` with
+its stdout captured, so a drifted import or API change in any example fails
+the suite rather than the first user who copies it.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_discovered():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_headlessly(example, capsys):
+    runpy.run_path(str(example), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{example.name} produced no output"
+
+
+def test_quickstart_reports_synthesis(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Synthesized decision conditions" in out
+    assert "SBA specification on the synthesized protocol" in out
+    # The synthesized protocol satisfies the specification.
+    assert "False" not in out.split("SBA specification")[1].split("Textbook")[0]
