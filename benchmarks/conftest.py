@@ -3,7 +3,14 @@
 Every benchmark is one cell of the paper's tables (or one of the ablations),
 executed in-process exactly once per benchmark round so that
 ``pytest benchmarks/ --benchmark-only`` completes in a few minutes on a
-laptop.  The full grids with per-cell timeouts (including the ``TO`` rows of
+laptop.
+
+Setting ``REPRO_BENCH_SMOKE=1`` (the CI bench-smoke job) runs every
+benchmark on tiny instances without speedup-floor assertions or result
+recording — a functional check of the benchmark code paths, not a timing
+run.  Each benchmark module reads the variable itself (pytest's conftest
+modules are not reliably importable from test modules, so there is no
+shared constant).  The full grids with per-cell timeouts (including the ``TO`` rows of
 the paper) are produced by the CLI, e.g.::
 
     python -m repro table1 --max-n 5 --timeout 600

@@ -41,13 +41,20 @@ from repro.spec.eba import eba_spec_formulas
 from repro.spec.sba import sba_spec_formulas
 from repro.systems.space import build_space
 
+# Benchmark-smoke mode (see benchmarks/conftest.py): tiny instances, no
+# speedup-floor assertions, no recording.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_checker.json"
-ROUNDS = 3
+ROUNDS = 1 if SMOKE else 3
 
 # Decided once per test session: record when explicitly asked, or when the
 # file is missing entirely (bootstrap) — checked at import so the first
-# workload's write doesn't stop the later ones from recording.
-_RECORDING = bool(os.environ.get("REPRO_BENCH_RECORD")) or not BENCH_PATH.exists()
+# workload's write doesn't stop the later ones from recording.  Smoke runs
+# use tiny instances, so their timings are never recorded.
+_RECORDING = not SMOKE and (
+    bool(os.environ.get("REPRO_BENCH_RECORD")) or not BENCH_PATH.exists()
+)
 
 _RESULTS: dict = {}
 
@@ -110,7 +117,7 @@ def _compare(space, formulas) -> dict:
 
 def test_table1_sba_n6_speedup():
     """Table 1 workload, FloodSet n=6: the acceptance-criterion cell (≥5×)."""
-    n, t = 6, 2
+    n, t = (4, 1) if SMOKE else (6, 2)
     model = build_sba_model("floodset", num_agents=n, max_faulty=t)
     space = build_space(model, FloodSetStandardProtocol(n, t))
     formulas = list(sba_spec_formulas(model, space.horizon).values())
@@ -124,6 +131,8 @@ def test_table1_sba_n6_speedup():
     payload.update(_compare(space, formulas))
     _record("table1_sba_n6", payload)
 
+    if SMOKE:
+        return
     assert payload["speedup"] >= 5.0, (
         f"bitset engine only {payload['speedup']}x faster than the set-based "
         f"checker on the n=6 SBA workload (need >= 5x)"
@@ -132,7 +141,7 @@ def test_table1_sba_n6_speedup():
 
 def test_table3_eba_speedup():
     """Table 3 workload, E_min n=4 under sending omissions (recorded)."""
-    n, t = 4, 1
+    n, t = (3, 1) if SMOKE else (4, 1)
     model = build_eba_model("emin", num_agents=n, max_faulty=t, failures="sending")
     space = build_space(model, EMinProtocol(n, t))
     formulas = list(eba_spec_formulas(model, space.horizon).values())
@@ -146,4 +155,6 @@ def test_table3_eba_speedup():
     payload.update(_compare(space, formulas))
     _record("table3_eba_n4", payload)
 
+    if SMOKE:
+        return
     assert payload["speedup"] >= 1.0, "bitset engine slower than the set-based checker"

@@ -16,7 +16,10 @@ from repro.analysis.conditions import (
     floodset_critical_time,
     naive_floodset_hypothesis,
 )
-from repro.analysis.earliest import earliest_decision_summary
+from repro.analysis.earliest import (
+    earliest_condition_renderings,
+    earliest_decision_summary,
+)
 
 __all__ = [
     "floodset_critical_time",
@@ -25,5 +28,6 @@ __all__ = [
     "count_condition_hypothesis",
     "check_count_le_two_insufficient",
     "check_diff_no_improvement",
+    "earliest_condition_renderings",
     "earliest_decision_summary",
 ]

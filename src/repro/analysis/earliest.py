@@ -9,7 +9,7 @@ projected onto observation groups before they reach this module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.core.synthesis import SBASynthesisResult
 
@@ -27,6 +27,28 @@ class EarliestDecisionSummary:
     #: Per time, the number of reachable observations (agent 0) at which the
     #: condition holds for some value.
     per_time_counts: Dict[int, int]
+
+
+def earliest_condition_renderings(
+    result: SBASynthesisResult, agent: int = 0, method: str = "auto"
+) -> Dict[Hashable, str]:
+    """For each decision value, the minimised condition at its earliest time.
+
+    Renders, per value, the synthesized condition of ``agent`` at the first
+    time the condition holds at some reachable observation — the formula the
+    paper would present for that decision opportunity.  Values whose
+    condition never holds within the horizon are omitted.  ``method`` picks
+    the minimisation backend (see
+    :func:`repro.core.minimize.truth_table_minimise`).
+    """
+    renderings: Dict[Hashable, str] = {}
+    for value in result.model.values():
+        for time in range(result.space.horizon + 1):
+            predicate = result.conditions.get(agent, time, value)
+            if predicate is not None and not predicate.always_false():
+                renderings[value] = predicate.describe(method=method)
+                break
+    return renderings
 
 
 def earliest_decision_summary(result: SBASynthesisResult) -> EarliestDecisionSummary:

@@ -77,7 +77,7 @@ def _synthesize_command(args: argparse.Namespace) -> int:
         result = synthesize_sba(model)
         print(f"Synthesized SBA conditions for {args.exchange} "
               f"(n={args.agents}, t={args.faulty}, {args.failures} failures):")
-        print(result.conditions.describe())
+        print(result.conditions.describe(method=args.minimise))
     elif args.exchange in EBA_EXCHANGES:
         model = build_eba_model(
             args.exchange, num_agents=args.agents, max_faulty=args.faulty,
@@ -87,7 +87,7 @@ def _synthesize_command(args: argparse.Namespace) -> int:
         print(f"Synthesized EBA conditions for {args.exchange} "
               f"(n={args.agents}, t={args.faulty}, {args.failures} failures, "
               f"{result.iterations} iterations, converged={result.converged}):")
-        print(result.conditions.describe())
+        print(result.conditions.describe(method=args.minimise))
     else:
         print(f"unknown exchange {args.exchange!r}", file=sys.stderr)
         return 2
@@ -136,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--faulty", type=int, required=True)
     synth.add_argument("--values", type=int, default=2)
     synth.add_argument("--failures", default="crash")
+    synth.add_argument(
+        "--minimise", choices=("auto", "qm", "espresso"), default="auto",
+        help="condition-minimisation backend: exact Quine-McCluskey, the "
+             "espresso-style heuristic, or auto (QM below the variable "
+             "threshold, espresso above; the default)",
+    )
     synth.set_defaults(func=_synthesize_command)
 
     check = subparsers.add_parser("check", help="model check one configuration")

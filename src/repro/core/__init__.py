@@ -17,7 +17,14 @@ knowledge-based-program synthesizer that play the role of MCK in the paper:
 * :mod:`repro.core.predicates` — synthesized conditions as sets of
   observations, comparison against hypothesised closed-form conditions, and
   rendering as minimised boolean formulas.
-* :mod:`repro.core.minimize` — Quine–McCluskey two-level minimisation.
+* :mod:`repro.core.cover` — the shared sum-of-products :class:`Cover`
+  representation and the certification helpers that check any returned cover
+  against its on/off specification.
+* :mod:`repro.core.minimize` — exact Quine–McCluskey two-level minimisation
+  and the backend-switching ``truth_table_minimise`` front door.
+* :mod:`repro.core.espresso` — the espresso-style heuristic cube-list
+  minimiser (EXPAND / IRREDUNDANT / REDUCE on positional bit-pair cubes)
+  used for wide observation alphabets.
 """
 
 from repro.core.bitset import BitSat, from_level_sets, to_level_sets

@@ -1,70 +1,69 @@
-"""Two-level minimisation of boolean functions (Quine–McCluskey).
+"""Two-level minimisation of boolean functions (exact and heuristic backends).
 
 The synthesizer produces decision conditions as sets of observations.  To
 present them the way MCK presents its synthesized ``define`` statements (and
 the way the paper states conditions (2) and (3)), we minimise the
 characteristic function of the condition over the observation features.
 
-The implementation is the classic Quine–McCluskey procedure with a greedy
-prime-implicant cover (essential primes first, then largest coverage).  It is
-exact in the sense that the returned implicants cover exactly the on-set and
-never a point of the off-set; the cover is not guaranteed to be of globally
-minimal size, which is acceptable for presentation purposes.
+Two backends share the :class:`~repro.core.cover.Cover` result type:
+
+* :func:`minimise` — the classic **Quine–McCluskey** procedure with a greedy
+  prime-implicant cover (essential primes first, then largest coverage).  It
+  is exact in the sense that the returned implicants cover exactly the
+  on-set and never a point of the off-set; the cover is not guaranteed to be
+  of globally minimal size, which is acceptable for presentation purposes.
+  Its cost grows with the *number of specified-or-don't-care minterms*, so
+  it degrades exponentially when a sparse truth table over many variables
+  turns the complement into don't-cares.
+* :func:`~repro.core.espresso.espresso_minimise` — the heuristic cube-list
+  minimiser (EXPAND / IRREDUNDANT / REDUCE), whose cost scales with the
+  number of *specified* rows only.  Covers are prime and irredundant but may
+  be slightly larger than the exact optimum.
+
+:func:`truth_table_minimise` is the front door used by
+:mod:`repro.core.predicates`: it picks the backend by variable count
+(:data:`ESPRESSO_VARIABLE_THRESHOLD`, override with ``method=``) and
+represents the don't-care set implicitly — as the complement of the
+specified assignments — so no caller ever materialises ``2**k`` points.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-#: An implicant over ``k`` boolean variables: a tuple with one entry per
-#: variable, each ``True`` (positive literal), ``False`` (negative literal) or
-#: ``None`` (don't care / variable eliminated).
-Implicant = Tuple[Optional[bool], ...]
+from repro.core.cover import (
+    Cover,
+    Implicant,
+    assignment_to_index,
+    implicant_covers_index,
+    minterm_to_implicant,
+)
+from repro.core.espresso import espresso_minimise
 
+__all__ = [
+    "Cover",
+    "Implicant",
+    "ESPRESSO_VARIABLE_THRESHOLD",
+    "MINIMISE_METHODS",
+    "minimise",
+    "prime_implicants",
+    "truth_table_minimise",
+]
 
-@dataclass(frozen=True)
-class Cover:
-    """A minimised sum-of-products cover of a boolean function."""
+#: Valid ``method=`` values accepted by :func:`truth_table_minimise` and the
+#: describe/render entry points that forward to it.
+MINIMISE_METHODS = ("auto", "qm", "espresso")
 
-    num_variables: int
-    implicants: Tuple[Implicant, ...]
-
-    def evaluate(self, assignment: Sequence[bool]) -> bool:
-        """Evaluate the cover on a full variable assignment."""
-        return any(_implicant_matches(implicant, assignment) for implicant in self.implicants)
-
-    def render(self, names: Sequence[str]) -> str:
-        """Render as a human-readable DNF using the given variable names."""
-        if not self.implicants:
-            return "False"
-        terms = []
-        for implicant in self.implicants:
-            literals = []
-            for position, polarity in enumerate(implicant):
-                if polarity is None:
-                    continue
-                literal = names[position] if polarity else f"~{names[position]}"
-                literals.append(literal)
-            terms.append(" & ".join(literals) if literals else "True")
-        return " | ".join(terms)
+#: Above this many variables :func:`truth_table_minimise` switches from the
+#: exact Quine–McCluskey backend to the espresso-style heuristic when the
+#: backend is not forced with ``method=``.  At eight variables the implicit
+#: don't-care complement is at most 256 minterms, which QM handles in
+#: milliseconds; beyond that its prime enumeration blows up (the ROADMAP
+#: repro: ~2 minutes for a 10-variable condition with 7 specified rows).
+ESPRESSO_VARIABLE_THRESHOLD = 8
 
 
-def _implicant_matches(implicant: Implicant, assignment: Sequence[bool]) -> bool:
-    return all(
-        polarity is None or bool(assignment[position]) == polarity
-        for position, polarity in enumerate(implicant)
-    )
-
-
-def _minterm_to_implicant(minterm: int, num_variables: int) -> Implicant:
-    return tuple(
-        bool((minterm >> (num_variables - 1 - position)) & 1)
-        for position in range(num_variables)
-    )
-
-
-def _combine(left: Implicant, right: Implicant) -> Optional[Implicant]:
+def _combine(left: Implicant, right: Implicant) -> Implicant | None:
     """Combine two implicants differing in exactly one specified position."""
     difference = -1
     for position, (a, b) in enumerate(zip(left, right)):
@@ -87,7 +86,7 @@ def prime_implicants(
 ) -> Set[Implicant]:
     """All prime implicants of the function given by its on-set and DC-set."""
     current: Set[Implicant] = {
-        _minterm_to_implicant(term, num_variables)
+        minterm_to_implicant(term, num_variables)
         for term in set(minterms) | set(dont_cares)
     }
     primes: Set[Implicant] = set()
@@ -116,11 +115,12 @@ def minimise(
     minterms: Iterable[int],
     dont_cares: Iterable[int] = (),
 ) -> Cover:
-    """Minimise a boolean function given by minterm indices.
+    """Minimise a boolean function given by minterm indices (Quine–McCluskey).
 
     Minterm ``m`` assigns variable ``j`` the value of bit
     ``num_variables - 1 - j`` of ``m`` (variable 0 is the most significant
-    bit), matching the usual truth-table convention.
+    bit), matching the usual truth-table convention.  ``dont_cares`` may be
+    any iterable (including a lazy generator): it is consumed once.
     """
     on_set = sorted(set(minterms))
     dc_set = set(dont_cares) - set(on_set)
@@ -138,7 +138,7 @@ def minimise(
     for prime in primes:
         covered = 0
         for position, term in enumerate(on_set):
-            if _implicant_matches(prime, _minterm_to_implicant(term, num_variables)):
+            if implicant_covers_index(prime, term, num_variables):
                 covered |= 1 << position
         if covered:
             coverage[prime] = covered
@@ -177,31 +177,47 @@ def _specificity(implicant: Implicant) -> int:
 def truth_table_minimise(
     assignments: Dict[Tuple[bool, ...], bool],
     reachable_only: bool = True,
+    method: str = "auto",
 ) -> Cover:
     """Minimise a function given as a mapping from assignments to values.
 
     Assignments missing from the mapping are treated as don't-cares when
     ``reachable_only`` is true (the usual case: unreachable observations may
-    be classified arbitrarily), and as off-set points otherwise.
+    be classified arbitrarily), and as off-set points otherwise.  The
+    don't-care set is only ever represented implicitly, as the complement of
+    the specified assignments — it is never materialised as a
+    ``2**num_variables`` collection.
+
+    ``method`` selects the backend: ``"qm"`` (exact Quine–McCluskey),
+    ``"espresso"`` (heuristic, prime and irredundant but possibly
+    non-minimal), or ``"auto"`` (the default): QM up to
+    :data:`ESPRESSO_VARIABLE_THRESHOLD` variables, espresso above, where QM's
+    implicit-complement expansion becomes intractable.
     """
+    if method not in MINIMISE_METHODS:
+        raise ValueError(f"unknown minimisation method {method!r}")
     if not assignments:
         return Cover(num_variables=0, implicants=())
     num_variables = len(next(iter(assignments)))
-    minterms = []
-    specified = set()
+    on_set: List[int] = []
+    off_set: List[int] = []
     for assignment, value in assignments.items():
-        index = _assignment_to_index(assignment)
-        specified.add(index)
-        if value:
-            minterms.append(index)
-    dont_cares: Set[int] = set()
+        (on_set if value else off_set).append(assignment_to_index(assignment))
+
+    if method == "auto":
+        method = "espresso" if num_variables > ESPRESSO_VARIABLE_THRESHOLD else "qm"
+
+    if method == "espresso":
+        return espresso_minimise(
+            num_variables, on_set, off_set if reachable_only else None
+        )
+
+    dont_cares: Iterable[int] = ()
     if reachable_only:
-        dont_cares = set(range(2 ** num_variables)) - specified
-    return minimise(num_variables, minterms, dont_cares)
-
-
-def _assignment_to_index(assignment: Sequence[bool]) -> int:
-    index = 0
-    for value in assignment:
-        index = (index << 1) | int(bool(value))
-    return index
+        # Lazy complement of the specified assignments; only the exact
+        # backend expands it, and auto only routes small tables here.
+        specified = set(on_set) | set(off_set)
+        dont_cares = (
+            index for index in range(2**num_variables) if index not in specified
+        )
+    return minimise(num_variables, on_set, dont_cares)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.minimize import Cover, truth_table_minimise
+from repro.core.minimize import MINIMISE_METHODS, Cover, truth_table_minimise
 
 #: A hypothesis maps (agent, time, features) to the predicted truth value.
 Hypothesis = Callable[[int, int, Mapping[str, Hashable]], bool]
@@ -50,26 +50,34 @@ class ObservationPredicate:
         """True when the condition holds at every reachable observation."""
         return self.positive == self.reachable
 
-    def describe(self) -> str:
+    def describe(self, method: str = "auto") -> str:
         """Render the condition as a simplified boolean formula.
 
         Non-boolean features (such as ``count``) are expanded into equality
         literals ``feature=value`` per value occurring among the reachable
         observations; boolean features are used directly.  The result is the
         analogue of the predicates MCK substitutes for template variables.
+
+        ``method`` selects the minimisation backend (``"auto"``, ``"qm"`` or
+        ``"espresso"``, see :func:`repro.core.minimize.truth_table_minimise`);
+        the default picks by feature-variable count, so wide observation
+        alphabets render in milliseconds instead of minutes.
         """
+        if method not in MINIMISE_METHODS:
+            # Validate before the constant shortcuts so a typo'd method fails
+            # on every predicate, not just the non-constant ones.
+            raise ValueError(f"unknown minimisation method {method!r}")
         if self.always_false():
             return "False"
         if self.always_true():
             return "True"
-        names, table = self._boolean_table()
-        cover = truth_table_minimise(table)
+        names, cover = self.minimised_cover(method=method)
         return cover.render(names)
 
-    def minimised_cover(self) -> Tuple[List[str], Cover]:
+    def minimised_cover(self, method: str = "auto") -> Tuple[List[str], Cover]:
         """The variable names and minimised cover used by :meth:`describe`."""
         names, table = self._boolean_table()
-        return names, truth_table_minimise(table)
+        return names, truth_table_minimise(table, method=method)
 
     def _boolean_table(self) -> Tuple[List[str], Dict[Tuple[bool, ...], bool]]:
         feature_values: Dict[str, set] = {}
@@ -162,14 +170,18 @@ class ConditionTable:
                     mismatches.append((agent, time, observation, actual, predicted))
         return HypothesisReport(label=label, checked=checked, mismatches=mismatches)
 
-    def describe(self) -> str:
-        """Human-readable rendering of every synthesized condition."""
+    def describe(self, method: str = "auto") -> str:
+        """Human-readable rendering of every synthesized condition.
+
+        ``method`` is forwarded to each predicate's
+        :meth:`ObservationPredicate.describe`.
+        """
         lines: List[str] = []
         for (agent, time, label), predicate in sorted(
             self.conditions.items(), key=lambda item: (item[0][1], item[0][0], repr(item[0][2]))
         ):
             lines.append(
-                f"agent {agent}, time {time}, {label}: {predicate.describe()}"
+                f"agent {agent}, time {time}, {label}: {predicate.describe(method=method)}"
             )
         return "\n".join(lines)
 

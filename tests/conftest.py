@@ -12,6 +12,14 @@ from repro.factory import build_eba_model, build_sba_model
 from repro.core.synthesis import synthesize_eba, synthesize_sba
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_regression: wall-clock budget pins for performance regressions "
+        "(kept fast so they always run in tier-1)",
+    )
+
+
 @pytest.fixture(scope="session")
 def floodset_3_1_model():
     """FloodSet, crash failures, n=3, t=1 (the paper's appendix instance)."""
@@ -64,3 +72,10 @@ def ebasic_3_1_model():
 def emin_3_1_synthesis(emin_3_1_model):
     """Synthesized EBA implementation for E_min, n=3, t=1."""
     return synthesize_eba(emin_3_1_model)
+
+
+@pytest.fixture(scope="session")
+def ebasic_3_1_synthesis(ebasic_3_1_model):
+    """Synthesized EBA implementation for E_basic, n=3, t=1 (the ROADMAP
+    describe() perf-regression scenario: wide observation alphabets)."""
+    return synthesize_eba(ebasic_3_1_model)

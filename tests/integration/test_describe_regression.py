@@ -1,0 +1,64 @@
+"""Regression pin for the ROADMAP describe() performance bug.
+
+The seed's exact Quine–McCluskey path turned every unreachable assignment
+into a don't-care, so ``ObservationPredicate.describe()`` on the E_basic
+n=3/t=1 sending-omissions synthesis (10–11 feature variables, 7–13 reachable
+rows) enumerated primes of a near-complete function: ~113 s for a *single*
+condition, measured on the seed commit.  With the espresso backend selected
+automatically above the variable threshold, the *entire* condition table
+renders in well under a second.
+
+The budget below is deliberately generous (10 s for every condition of every
+agent) so the test is robust on slow CI machines while still failing loudly
+if the exponential path ever silently returns — the bug was three orders of
+magnitude over budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.cover import assignment_to_index, certify_cover
+from repro.core.minimize import ESPRESSO_VARIABLE_THRESHOLD
+
+#: Wall-clock budget for rendering the full condition table (seconds).
+DESCRIBE_BUDGET_SECONDS = 10.0
+
+
+@pytest.mark.perf_regression
+def test_ebasic_sending_describe_completes_within_budget(ebasic_3_1_synthesis):
+    """All E_basic n=3/t=1 sending-omissions conditions render in time."""
+    conditions = ebasic_3_1_synthesis.conditions
+
+    # The scenario must actually exercise the wide-alphabet path, otherwise
+    # this regression test pins nothing.
+    widths = [
+        len(predicate._boolean_table()[0])
+        for predicate in conditions.conditions.values()
+    ]
+    assert max(widths) > ESPRESSO_VARIABLE_THRESHOLD
+
+    start = time.perf_counter()
+    rendering = conditions.describe()
+    elapsed = time.perf_counter() - start
+    assert elapsed < DESCRIBE_BUDGET_SECONDS, (
+        f"describe() took {elapsed:.1f}s (budget {DESCRIBE_BUDGET_SECONDS}s): "
+        f"the ROADMAP minimisation blow-up is back"
+    )
+    assert rendering.count("agent") == len(conditions.conditions)
+
+
+@pytest.mark.perf_regression
+def test_ebasic_sending_wide_covers_are_certified(ebasic_3_1_synthesis):
+    """The fast covers are still exact on every reachable observation."""
+    for predicate in ebasic_3_1_synthesis.conditions.conditions.values():
+        names, cover = predicate.minimised_cover()
+        table = predicate._boolean_table()[1]
+        on_set = []
+        off_set = []
+        for assignment, value in table.items():
+            (on_set if value else off_set).append(assignment_to_index(assignment))
+        certificate = certify_cover(cover, on_set, off_set)
+        assert certificate.ok, (predicate.agent, predicate.time, certificate)

@@ -13,7 +13,10 @@ from repro.analysis import (
     floodset_condition_hypothesis,
     naive_floodset_hypothesis,
 )
-from repro.analysis.earliest import earliest_decision_summary
+from repro.analysis.earliest import (
+    earliest_condition_renderings,
+    earliest_decision_summary,
+)
 from repro.core.synthesis import synthesize_sba
 from repro.factory import build_sba_model
 from repro.kbp import verify_sba_implementation
@@ -59,6 +62,17 @@ class TestCounterexampleInstance:
         summary = earliest_decision_summary(floodset_3_2_synthesis)
         assert summary.earliest_any == 2
         assert summary.earliest_general == 2
+
+    def test_earliest_condition_renderings(self, floodset_3_2_synthesis):
+        # At the critical time the condition (2) reduces to the seen-value
+        # literal; both minimisation backends must present it that way.
+        for method in ("auto", "qm", "espresso"):
+            renderings = earliest_condition_renderings(
+                floodset_3_2_synthesis, method=method
+            )
+            assert set(renderings) == {0, 1}
+            for value, rendering in renderings.items():
+                assert f"values_received[{value}]" in rendering, (method, rendering)
 
 
 @pytest.mark.parametrize(

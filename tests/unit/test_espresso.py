@@ -1,0 +1,141 @@
+"""Unit tests for the espresso-style minimiser's cube layer and edge cases."""
+
+import pytest
+
+from repro.core.cover import Cover, certify_cover
+from repro.core.espresso import (
+    cover_is_tautology,
+    cube_contains,
+    cube_free_count,
+    cube_literal_count,
+    cube_to_implicant,
+    espresso_minimise,
+    full_cube,
+    implicant_to_cube,
+    minterm_cube,
+)
+
+
+class TestCubePrimitives:
+    def test_minterm_cube_matches_truth_table_convention(self):
+        # Minterm 0b10 over 2 variables: variable 0 (MSB) is True, variable 1
+        # is False -> pairs (admits True, admits False) = (0b10, 0b01).
+        assert minterm_cube(0b10, 2) == (0b01 << 2) | 0b10
+
+    def test_implicant_cube_round_trip(self):
+        for implicant in [
+            (True, False, None),
+            (None, None, None),
+            (False,),
+            (True, True, True, False),
+        ]:
+            assert cube_to_implicant(implicant_to_cube(implicant), len(implicant)) == implicant
+
+    def test_cube_to_implicant_rejects_empty_pairs(self):
+        with pytest.raises(ValueError):
+            cube_to_implicant(0, 1)
+
+    def test_containment_is_bit_subset(self):
+        outer = implicant_to_cube((True, None))
+        inner = implicant_to_cube((True, False))
+        assert cube_contains(outer, inner)
+        assert not cube_contains(inner, outer)
+        assert cube_contains(full_cube(2), outer)
+
+    def test_free_and_literal_counts(self):
+        cube = implicant_to_cube((True, None, False, None))
+        assert cube_free_count(cube, 4) == 2
+        assert cube_literal_count(cube, 4) == 2
+
+
+class TestEspressoMinimise:
+    def test_empty_on_set_is_false(self):
+        cover = espresso_minimise(3, [])
+        assert cover.implicants == ()
+        assert cover.render(["a", "b", "c"]) == "False"
+
+    def test_zero_variables(self):
+        assert espresso_minimise(0, [0]).implicants == ((),)
+        assert espresso_minimise(0, []).implicants == ()
+
+    def test_all_specified_on_collapses_to_true(self):
+        # Explicit empty off-set: everything else is don't-care, so the
+        # single specified on-row generalises to the universal cube.
+        cover = espresso_minimise(4, [5], [])
+        assert cover.implicants == ((None, None, None, None),)
+        assert cover.render(["a", "b", "c", "d"]) == "True"
+
+    def test_full_on_set_is_tautology(self):
+        cover = espresso_minimise(3, range(8))
+        assert cover.implicants == ((None, None, None),)
+        assert cover_is_tautology(cover)
+
+    def test_overlapping_on_and_off_rejected(self):
+        with pytest.raises(ValueError):
+            espresso_minimise(2, [1], [1, 2])
+
+    def test_single_variable_projection(self):
+        # f(a, b) = a with the full truth table specified.
+        cover = espresso_minimise(2, [2, 3])
+        assert cover.implicants == ((True, None),)
+
+    def test_xor_cannot_be_reduced(self):
+        cover = espresso_minimise(2, [1, 2])
+        assert len(cover.implicants) == 2
+        assert certify_cover(cover, [1, 2], None).prime_and_irredundant
+
+    def test_sparse_wide_table_stays_sparse(self):
+        # The ROADMAP shape: 10 variables, 7 specified rows.  The cover must
+        # be found without ever enumerating the 1017 don't-care minterms.
+        on_set = [0b1111111111, 0b1111111110, 0b0000000001]
+        off_set = [0b0000000000, 0b1000000000, 0b0100000000, 0b0010000000]
+        cover = espresso_minimise(10, on_set, off_set)
+        certificate = certify_cover(cover, on_set, off_set)
+        assert certificate.prime_and_irredundant
+        assert len(cover.implicants) <= 3
+
+    def test_classic_qm_exercise_with_dont_cares(self):
+        # Minterms 4,8,10,11,12,15 with DC 9,14: the exact minimum is 3
+        # cubes; espresso must find a certified cover of at most 4.
+        on_set = [4, 8, 10, 11, 12, 15]
+        off_set = sorted(set(range(16)) - set(on_set) - {9, 14})
+        cover = espresso_minimise(4, on_set, off_set)
+        certificate = certify_cover(cover, on_set, off_set)
+        assert certificate.prime_and_irredundant
+        assert len(cover.implicants) <= 4
+
+
+class TestCertifyCover:
+    def test_detects_uncovered_on_points(self):
+        bad = Cover(num_variables=2, implicants=((True, None),))
+        certificate = certify_cover(bad, [0, 2], [1])
+        assert certificate.uncovered_on == (0,)
+        assert not certificate.ok
+
+    def test_detects_off_set_violations(self):
+        bad = Cover(num_variables=2, implicants=((None, None),))
+        certificate = certify_cover(bad, [0, 2], [1])
+        assert certificate.violated_off == (1,)
+        assert not certificate.ok
+
+    def test_detects_implicit_complement_violation(self):
+        # (True, None) covers minterms 2 and 3, but only 2 is on: with the
+        # implicit off-set the counting oracle must flag a witness.
+        bad = Cover(num_variables=2, implicants=((True, None),))
+        certificate = certify_cover(bad, [2], None)
+        assert certificate.violated_off == (3,)
+
+    def test_detects_non_prime_and_redundant_implicants(self):
+        # (True, True) could drop a literal (off-set allows it), and the
+        # second implicant covers no on-point of its own.
+        sloppy = Cover(num_variables=2, implicants=((True, True), (None, True)))
+        certificate = certify_cover(sloppy, [3], [0])
+        assert certificate.ok
+        assert certificate.non_prime
+        assert certificate.redundant
+        assert not certificate.prime_and_irredundant
+
+    def test_rejects_overlapping_specification(self):
+        cover = Cover(num_variables=1, implicants=())
+        with pytest.raises(ValueError):
+            certify_cover(cover, [0], [0])

@@ -1,8 +1,12 @@
-"""Unit tests for the Quine-McCluskey minimiser."""
+"""Unit tests for the Quine-McCluskey minimiser and the backend front door."""
 
 from itertools import product
 
+import pytest
+
+import repro.core.minimize as minimize_module
 from repro.core.minimize import (
+    ESPRESSO_VARIABLE_THRESHOLD,
     Cover,
     minimise,
     prime_implicants,
@@ -103,3 +107,113 @@ def test_cover_evaluate_agrees_with_render_semantics():
     cover = minimise(3, on_set)
     for assignment in product([False, True], repeat=3):
         assert cover.evaluate(list(assignment)) == assignment[2]
+
+
+# ---------------------------------------------------------------------------
+# Cover edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_empty_cover_is_constant_false():
+    cover = Cover(num_variables=2, implicants=())
+    assert not cover.evaluate([True, True])
+    assert not cover.evaluate_index(3)
+    assert cover.render(["a", "b"]) == "False"
+    assert cover.literal_count() == 0
+
+
+def test_tautology_cover_is_constant_true():
+    cover = Cover(num_variables=2, implicants=((None, None),))
+    for assignment in product([False, True], repeat=2):
+        assert cover.evaluate(list(assignment))
+    assert cover.render(["a", "b"]) == "True"
+    assert cover.literal_count() == 0
+
+
+def test_zero_variable_functions():
+    assert minimise(0, [0]).implicants == ((),)
+    assert minimise(0, []).implicants == ()
+    assert Cover(0, ((),)).evaluate([]) is True
+    assert Cover(0, ()).evaluate([]) is False
+    assert Cover(0, ((),)).render([]) == "True"
+    assert truth_table_minimise({(): True}).render([]) == "True"
+    assert truth_table_minimise({(): False}).render([]) == "False"
+    assert truth_table_minimise({}).implicants == ()
+
+
+def test_render_orders_literals_by_variable_position():
+    cover = Cover(num_variables=3, implicants=((False, None, True),))
+    # Literals appear in names order regardless of polarity: ~a before c.
+    assert cover.render(["a", "b", "c"]) == "~a & c"
+
+
+def test_greedy_cover_no_progress_guard_terminates(monkeypatch):
+    """A prime set that cannot cover the on-set must not loop forever.
+
+    ``prime_implicants`` can never legitimately return such a set, but the
+    greedy loop guards against it; simulate the impossible input and check
+    ``minimise`` terminates with the partial cover instead of spinning.
+    """
+
+    def broken_primes(num_variables, minterms, dont_cares=()):
+        return {(True, True)}  # covers minterm 3 only, never 0
+
+    monkeypatch.setattr(minimize_module, "prime_implicants", broken_primes)
+    cover = minimize_module.minimise(2, [0, 3])
+    assert cover.implicants == ((True, True),)
+    assert not cover.evaluate_index(0)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+
+def _sparse_table(num_variables):
+    def assignment(index):
+        return tuple(
+            bool((index >> (num_variables - 1 - position)) & 1)
+            for position in range(num_variables)
+        )
+
+    return {assignment(0): False, assignment(1): True, assignment(3): True}
+
+
+def test_truth_table_minimise_rejects_unknown_method():
+    with pytest.raises(ValueError):
+        truth_table_minimise(_sparse_table(2), method="exactly")
+
+
+def test_explicit_methods_agree_on_specified_rows():
+    table = _sparse_table(4)
+    qm = truth_table_minimise(table, method="qm")
+    es = truth_table_minimise(table, method="espresso")
+    for assignment, value in table.items():
+        assert qm.evaluate(assignment) == value
+        assert es.evaluate(assignment) == value
+
+
+def test_auto_switches_to_espresso_above_threshold():
+    wide = _sparse_table(ESPRESSO_VARIABLE_THRESHOLD + 1)
+    called = {}
+    original = minimize_module.espresso_minimise
+
+    def spy(*args, **kwargs):
+        called["espresso"] = True
+        return original(*args, **kwargs)
+
+    minimize_module.espresso_minimise = spy
+    try:
+        cover = truth_table_minimise(wide)
+    finally:
+        minimize_module.espresso_minimise = original
+    assert called.get("espresso")
+    for assignment, value in wide.items():
+        assert cover.evaluate(assignment) == value
+
+
+def test_auto_uses_exact_backend_below_threshold():
+    table = _sparse_table(3)
+    auto = truth_table_minimise(table)
+    qm = truth_table_minimise(table, method="qm")
+    assert auto == qm

@@ -64,6 +64,40 @@ class TestObservationPredicate:
         with pytest.raises(ValueError):
             _predicate({(True,)}, {(False,)}, {(False,): {"seen": False}})
 
+    def test_describe_backends_agree_semantically(self, count_predicate):
+        # Forced backends may pick different covers but must classify every
+        # reachable observation identically.
+        for method in ("auto", "qm", "espresso"):
+            names, cover = count_predicate.minimised_cover(method=method)
+            for observation in count_predicate.reachable:
+                features = count_predicate.features_of[observation]
+                assignment = []
+                for name in names:
+                    if "=" in name:
+                        feature, value = name.split("=")
+                        assignment.append(str(features[feature]) == value)
+                    else:
+                        assignment.append(bool(features[name]))
+                assert cover.evaluate(assignment) == count_predicate.holds(
+                    observation
+                ), method
+
+    def test_describe_rejects_unknown_method(self, count_predicate):
+        with pytest.raises(ValueError):
+            count_predicate.describe(method="bogus")
+
+    def test_describe_rejects_unknown_method_on_constant_predicates(self):
+        # Constant predicates short-circuit before minimising; a typo'd
+        # backend must still fail on them, not just on the non-constant ones.
+        reachable = {(1,), (2,)}
+        features = {(1,): {"x": 1}, (2,): {"x": 2}}
+        for predicate in (
+            _predicate(set(), reachable, features),
+            _predicate(reachable, reachable, features),
+        ):
+            with pytest.raises(ValueError):
+                predicate.describe(method="bogus")
+
     def test_minimised_cover_matches_positive_set(self, count_predicate):
         names, cover = count_predicate.minimised_cover()
         assert len(names) >= 2
