@@ -2,33 +2,65 @@
 
 Examples::
 
-    python -m repro table1 --max-n 4 --timeout 60
-    python -m repro table3 --max-n 3 --timeout 120
+    python -m repro table1 --max-n 4 --timeout 60 --workers 4
+    python -m repro table3 --max-n 3 --timeout 120 --output table3.jsonl
+    python -m repro table3 --max-n 3 --output table3.jsonl --resume
+    python -m repro report table3.jsonl --format csv
     python -m repro synthesize --exchange floodset --agents 3 --faulty 1
     python -m repro check --exchange floodset --agents 3 --faulty 2
 
 The table commands print the same row/column structure as the paper's
-Tables 1–3, with ``TO`` entries for cases exceeding the time budget.
+Tables 1–3, with ``TO`` entries for cases exceeding the time budget.  With
+``--workers N`` cells run on a pool of N concurrent forked children; with
+``--output FILE`` every completed cell is journalled so ``--resume`` can
+pick an interrupted sweep back up and ``report`` can re-render the results
+(text, JSON or CSV) without re-running anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.core.synthesis import synthesize_eba, synthesize_sba
 from repro.factory import EBA_EXCHANGES, SBA_EXCHANGES, build_eba_model, build_sba_model
+from repro.failures import FAILURE_MODELS
 from repro.harness.runner import run_case
+from repro.harness.store import ResultStore
 from repro.harness.tables import (
+    TableResult,
     ablation_failure_models,
     ablation_temporal_only,
+    render_csv,
+    render_json,
     render_table,
     run_table,
     table1_spec,
     table2_spec,
     table3_spec,
 )
+
+RENDERERS = {"text": render_table, "json": render_json, "csv": render_csv}
+
+
+def default_workers() -> int:
+    """The default worker-pool size: one worker per available CPU."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _default_failures(exchange: str) -> str:
+    """The paper's failure model for an exchange when ``--failures`` is absent.
+
+    The EBA experiments (Table 3) and the task defaults run sending
+    omissions — the model the ``P0`` optimality result is stated for — while
+    the SBA experiments (Tables 1 and 2) run crash failures.
+    """
+    return "sending" if exchange in EBA_EXCHANGES else "crash"
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +77,30 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=default_workers(),
+        help="concurrent table cells (default: one per available CPU, "
+             f"here {default_workers()})",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="journal every completed cell to this JSON-lines results file",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already completed in the --output results file",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(RENDERERS), default="text",
+        help="final rendering of the table (default: text)",
+    )
+
+
+def _render_result(result: TableResult, fmt: str) -> str:
+    return RENDERERS[fmt](result)
+
+
 def _table_command(args: argparse.Namespace) -> int:
     if args.command == "table1":
         spec = table1_spec(max_n=args.max_n)
@@ -58,34 +114,65 @@ def _table_command(args: argparse.Namespace) -> int:
         spec = ablation_failure_models(max_n=args.max_n)
     else:  # pragma: no cover - argparse restricts the choices
         raise ValueError(args.command)
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.resume and args.output is None:
+        print("--resume requires --output (the results file to resume from)",
+              file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore(args.output) if args.output is not None else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     result = run_table(
         spec,
         timeout=args.timeout,
         max_states=args.max_states,
         verbose=not args.quiet,
+        workers=args.workers,
+        store=store,
+        resume=args.resume,
     )
-    print(render_table(result))
+    print(_render_result(result, args.format))
+    if store is not None and not args.quiet:
+        print(f"results journalled to {store.path}", file=sys.stderr)
+    return 0
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.results):
+        print(f"no results file at {args.results}", file=sys.stderr)
+        return 2
+    try:
+        result = ResultStore(args.results).load_result()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(_render_result(result, args.format))
     return 0
 
 
 def _synthesize_command(args: argparse.Namespace) -> int:
+    failures = args.failures or _default_failures(args.exchange)
     if args.exchange in SBA_EXCHANGES:
         model = build_sba_model(
             args.exchange, num_agents=args.agents, max_faulty=args.faulty,
-            num_values=args.values, failures=args.failures,
+            num_values=args.values, failures=failures,
         )
         result = synthesize_sba(model)
         print(f"Synthesized SBA conditions for {args.exchange} "
-              f"(n={args.agents}, t={args.faulty}, {args.failures} failures):")
+              f"(n={args.agents}, t={args.faulty}, {failures} failures):")
         print(result.conditions.describe(method=args.minimise))
     elif args.exchange in EBA_EXCHANGES:
         model = build_eba_model(
             args.exchange, num_agents=args.agents, max_faulty=args.faulty,
-            failures=args.failures if args.failures != "crash" else "crash",
+            failures=failures,
         )
         result = synthesize_eba(model)
         print(f"Synthesized EBA conditions for {args.exchange} "
-              f"(n={args.agents}, t={args.faulty}, {args.failures} failures, "
+              f"(n={args.agents}, t={args.faulty}, {failures} failures, "
               f"{result.iterations} iterations, converged={result.converged}):")
         print(result.conditions.describe(method=args.minimise))
     else:
@@ -100,7 +187,7 @@ def _check_command(args: argparse.Namespace) -> int:
         "exchange": args.exchange,
         "num_agents": args.agents,
         "max_faulty": args.faulty,
-        "failures": args.failures,
+        "failures": args.failures or _default_failures(args.exchange),
     }
     if task == "sba-model-check":
         params["num_values"] = args.values
@@ -116,6 +203,14 @@ def _check_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_failures_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--failures", choices=FAILURE_MODELS, default=None,
+        help="failure model (default: sending omissions for EBA exchanges, "
+             "crash for SBA exchanges, as in the paper)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -128,14 +223,25 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(table, help=f"run the {table} experiment grid")
         sub.add_argument("--max-n", type=int, default=4, help="largest number of agents")
         _add_budget_arguments(sub)
+        _add_grid_arguments(sub)
         sub.set_defaults(func=_table_command)
+
+    report = subparsers.add_parser(
+        "report", help="re-render a stored results file without re-running"
+    )
+    report.add_argument("results", help="a results file written with --output")
+    report.add_argument(
+        "--format", choices=sorted(RENDERERS), default="text",
+        help="rendering of the stored table (default: text)",
+    )
+    report.set_defaults(func=_report_command)
 
     synth = subparsers.add_parser("synthesize", help="synthesize one configuration")
     synth.add_argument("--exchange", required=True)
     synth.add_argument("--agents", type=int, required=True)
     synth.add_argument("--faulty", type=int, required=True)
     synth.add_argument("--values", type=int, default=2)
-    synth.add_argument("--failures", default="crash")
+    _add_failures_argument(synth)
     synth.add_argument(
         "--minimise", choices=("auto", "qm", "espresso"), default="auto",
         help="condition-minimisation backend: exact Quine-McCluskey, the "
@@ -149,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--agents", type=int, required=True)
     check.add_argument("--faulty", type=int, required=True)
     check.add_argument("--values", type=int, default=2)
-    check.add_argument("--failures", default="crash")
+    _add_failures_argument(check)
     check.add_argument("--optimal", action="store_true",
                        help="check the optimal (revised) literature protocol")
     check.add_argument("--timeout", type=float, default=600.0)

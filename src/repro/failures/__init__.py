@@ -30,6 +30,7 @@ from repro.failures.omissions import (
 __all__ = [
     "DeliveryMode",
     "FailureModel",
+    "FAILURE_MODELS",
     "CrashFailures",
     "OmissionFailures",
     "SendingOmissions",
@@ -37,22 +38,26 @@ __all__ = [
     "GeneralOmissions",
 ]
 
+_REGISTRY = {
+    "crash": CrashFailures,
+    "sending": SendingOmissions,
+    "receiving": ReceivingOmissions,
+    "general": GeneralOmissions,
+}
+
+#: The known failure-model names, in the paper's order of strength.
+FAILURE_MODELS = tuple(_REGISTRY)
+
 
 def failure_model_by_name(name: str, num_agents: int, max_faulty: int) -> FailureModel:
     """Construct a failure model from its short name.
 
     Recognised names: ``crash``, ``sending``, ``receiving``, ``general``.
     """
-    registry = {
-        "crash": CrashFailures,
-        "sending": SendingOmissions,
-        "receiving": ReceivingOmissions,
-        "general": GeneralOmissions,
-    }
     try:
-        factory = registry[name]
+        factory = _REGISTRY[name]
     except KeyError as exc:
         raise ValueError(
-            f"unknown failure model {name!r}; expected one of {sorted(registry)}"
+            f"unknown failure model {name!r}; expected one of {sorted(_REGISTRY)}"
         ) from exc
     return factory(num_agents, max_faulty)

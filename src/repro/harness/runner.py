@@ -5,6 +5,11 @@ runner reproduces that protocol: the task is executed in a forked process, and
 if it does not finish within the budget it is terminated and the cell is
 reported as ``TO``.  A state budget (``max_states``) provides an additional
 memory guard that is also reported as ``TO``.
+
+:class:`CaseHandle` is the non-blocking half of the runner: it starts the
+child and can be polled against its deadline, which is what lets
+:func:`repro.harness.tables.run_table` keep several cells in flight at once.
+:func:`run_case` is the blocking convenience wrapper around it.
 """
 
 from __future__ import annotations
@@ -16,6 +21,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.harness.tasks import TASKS
+
+#: How long a timed-out child gets to honour SIGTERM before it is SIGKILLed.
+#: A worker stuck inside a single long arbitrary-precision integer operation
+#: never reaches a bytecode boundary where the default SIGTERM handler runs,
+#: so an unbounded ``join()`` after ``terminate()`` can hang forever.
+TERM_GRACE_SECONDS = 5.0
 
 
 @dataclass
@@ -43,20 +54,150 @@ class CaseOutcome:
         assert self.seconds is not None
         minutes = int(self.seconds // 60)
         seconds = self.seconds - 60 * minutes
-        return f"{minutes}m{seconds:.3f}"
+        return f"{minutes}m{seconds:06.3f}"
 
 
 def _child(task_name: str, params: Dict[str, object], pipe) -> None:
+    # The child measures its own elapsed time: the scheduler may be busy
+    # (e.g. escalating a sibling's kill) when this child exits, so a
+    # harvest-time measurement in the parent would overstate the runtime.
+    start = time.perf_counter()
     try:
         func = TASKS[task_name]
         result = func(**params)
-        pipe.send(("ok", result))
+        pipe.send(("ok", result, time.perf_counter() - start))
     except MemoryError:
-        pipe.send(("error", "out of memory"))
+        pipe.send(("error", "out of memory", None))
     except Exception:  # pragma: no cover - defensive: report, don't hang
-        pipe.send(("error", traceback.format_exc(limit=5)))
+        pipe.send(("error", traceback.format_exc(limit=5), None))
     finally:
         pipe.close()
+
+
+class CaseHandle:
+    """A started experiment case: the forked child plus its result pipe.
+
+    The handle owns two OS resources — the parent end of the result pipe and
+    the child process object — and releases both exactly once, in
+    :meth:`harvest`, whatever path the case takes (success, error, timeout,
+    kill escalation).  The parent's copy of the child end is closed as soon
+    as the fork has happened; a 100+-cell sweep that kept all three alive
+    per cell would exhaust the fd table (``EMFILE``).
+    """
+
+    def __init__(
+        self,
+        task: str,
+        params: Dict[str, object],
+        timeout: Optional[float] = None,
+        term_grace: float = TERM_GRACE_SECONDS,
+    ) -> None:
+        if task not in TASKS:
+            raise ValueError(f"unknown task {task!r}; known tasks: {sorted(TASKS)}")
+        self.task = task
+        self.params = params
+        self.timeout = timeout
+        self.term_grace = term_grace
+        self._outcome: Optional[CaseOutcome] = None
+        context = multiprocessing.get_context("fork")
+        self._pipe, child_pipe = context.Pipe(duplex=False)
+        self._process = context.Process(target=_child, args=(task, params, child_pipe))
+        self.started = time.perf_counter()
+        self._process.start()
+        # The child inherited its own copy of this end across the fork; the
+        # parent's copy must go, both to save an fd per cell and so that the
+        # parent end sees EOF if the child dies without sending.
+        child_pipe.close()
+
+    @property
+    def sentinel(self) -> int:
+        """Waitable fd that becomes ready when the child exits."""
+        return self._process.sentinel
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """``perf_counter`` time at which the case busts its budget."""
+        return None if self.timeout is None else self.started + self.timeout
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True once the wall-clock budget has elapsed."""
+        if self.deadline is None:
+            return False
+        return (time.perf_counter() if now is None else now) >= self.deadline
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait (up to ``timeout`` seconds) for the child to exit."""
+        self._process.join(timeout)
+
+    def poll(self) -> Optional[CaseOutcome]:
+        """Harvest if the child has finished or busted its budget, else None."""
+        if self._outcome is not None:
+            return self._outcome
+        if self._process.is_alive() and not self.expired():
+            return None
+        return self.harvest()
+
+    def harvest(self) -> CaseOutcome:
+        """Reap the child and build the outcome, releasing all OS resources.
+
+        If the child is still alive (budget exceeded), it is sent SIGTERM,
+        given :attr:`term_grace` seconds, then SIGKILLed — a child stuck in a
+        single long C-level operation never services SIGTERM, and an
+        unbounded join would hang the whole table.  Idempotent: the outcome
+        is cached and resources are released only once.
+        """
+        if self._outcome is not None:
+            return self._outcome
+        elapsed = time.perf_counter() - self.started
+
+        timed_out = False
+        if self._process.is_alive():
+            timed_out = True
+            self._process.terminate()
+            self._process.join(self.term_grace)
+            if self._process.is_alive():
+                self._process.kill()
+                self._process.join()
+
+        status, payload, child_seconds = "error", "worker produced no result", None
+        try:
+            if self._pipe.poll():
+                status, payload, child_seconds = self._pipe.recv()
+        except (EOFError, OSError):  # pragma: no cover - torn-down pipe
+            pass
+        finally:
+            self._pipe.close()
+        self._process.join()
+        self._process.close()
+
+        if timed_out:
+            outcome = CaseOutcome(
+                task=self.task, params=self.params, seconds=None, timed_out=True
+            )
+        elif status == "ok":
+            outcome = CaseOutcome(
+                task=self.task,
+                params=self.params,
+                seconds=child_seconds if child_seconds is not None else elapsed,
+                timed_out=False,
+                result=payload,
+            )
+        elif isinstance(payload, str) and "SpaceBudgetExceeded" in payload:
+            # A state-budget violation surfaces as an error; report it as TO
+            # since it plays the same role as the paper's timeout.
+            outcome = CaseOutcome(
+                task=self.task, params=self.params, seconds=None, timed_out=True
+            )
+        else:
+            outcome = CaseOutcome(
+                task=self.task,
+                params=self.params,
+                seconds=None,
+                timed_out=False,
+                error=str(payload),
+            )
+        self._outcome = outcome
+        return outcome
 
 
 def run_case(
@@ -64,6 +205,7 @@ def run_case(
     params: Dict[str, object],
     timeout: Optional[float] = None,
     in_process: bool = False,
+    term_grace: float = TERM_GRACE_SECONDS,
 ) -> CaseOutcome:
     """Run one experiment case, optionally with a wall-clock budget.
 
@@ -91,30 +233,6 @@ def run_case(
             task=task, params=params, seconds=elapsed, timed_out=False, result=result
         )
 
-    context = multiprocessing.get_context("fork")
-    parent_pipe, child_pipe = context.Pipe(duplex=False)
-    process = context.Process(target=_child, args=(task, params, child_pipe))
-    start = time.perf_counter()
-    process.start()
-    process.join(timeout)
-    elapsed = time.perf_counter() - start
-
-    if process.is_alive():
-        process.terminate()
-        process.join()
-        return CaseOutcome(task=task, params=params, seconds=None, timed_out=True)
-
-    status, payload = ("error", "worker produced no result")
-    if parent_pipe.poll():
-        status, payload = parent_pipe.recv()
-    if status == "ok":
-        return CaseOutcome(
-            task=task, params=params, seconds=elapsed, timed_out=False, result=payload
-        )
-    # A state-budget violation surfaces as an error; report it as TO since it
-    # plays the same role as the paper's timeout.
-    if isinstance(payload, str) and "SpaceBudgetExceeded" in payload:
-        return CaseOutcome(task=task, params=params, seconds=None, timed_out=True)
-    return CaseOutcome(
-        task=task, params=params, seconds=None, timed_out=False, error=str(payload)
-    )
+    handle = CaseHandle(task, params, timeout=timeout, term_grace=term_grace)
+    handle.join(timeout)
+    return handle.harvest()

@@ -1,18 +1,33 @@
-"""Table definitions and rendering for the paper's performance experiments.
+"""Table definitions and the grid engine for the paper's experiments.
 
 Each :class:`TableSpec` describes one of the paper's tables (or one of our
 ablations) as a list of rows, where every row contains the varied parameters
 and one or more cells; every cell is an experiment task run with a wall-clock
-budget.  :func:`run_table` executes a spec and :func:`render_table` renders
-the outcome in the same row/column structure the paper uses.
+budget.  :func:`run_table` executes a spec — sequentially or on a pool of
+``workers`` concurrent forked children, optionally journalling every
+completed cell to a :class:`~repro.harness.store.ResultStore` and skipping
+cells the store already holds (``resume=True``) — and :func:`render_table`,
+:func:`render_json` and :func:`render_csv` render the outcome in the same
+row/column structure the paper uses.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+import time
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_sentinels
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.harness.runner import CaseOutcome, run_case
+from repro.harness.runner import (
+    TERM_GRACE_SECONDS,
+    CaseHandle,
+    CaseOutcome,
+    run_case,
+)
+from repro.harness.store import ResultStore
 
 #: A cell: (column label, task name, task parameters).
 CellSpec = Tuple[str, str, Dict[str, object]]
@@ -50,23 +65,132 @@ class TableResult:
         return outcome.cell() if outcome is not None else "-"
 
 
+def _resolved_cells(
+    spec: TableSpec, max_states: Optional[int]
+) -> List[Tuple[Tuple, str, str, Dict[str, object]]]:
+    """Flatten a spec into (row key, column, task, resolved params) cells."""
+    cells = []
+    for row_key, row_cells in spec.rows:
+        for column, task, params in row_cells:
+            case_params = dict(params)
+            if max_states is not None and "max_states" not in case_params:
+                case_params["max_states"] = max_states
+            cells.append((row_key, column, task, case_params))
+    return cells
+
+
+class _Progress:
+    """Per-cell progress lines; all printing happens in the scheduler process,
+    so concurrent workers never interleave partial lines."""
+
+    def __init__(self, spec_name: str, total: int, verbose: bool) -> None:
+        self.spec_name = spec_name
+        self.total = total
+        self.done = 0
+        self.verbose = verbose
+
+    def report(self, row_key: Tuple, column: str, outcome: CaseOutcome,
+               cached: bool = False) -> None:
+        self.done += 1
+        if not self.verbose:
+            return
+        suffix = "  (cached)" if cached else ""
+        print(
+            f"  [{self.done}/{self.total}] {self.spec_name} {row_key} "
+            f"{column}: {outcome.cell()}{suffix}",
+            flush=True,
+        )
+
+
 def run_table(
     spec: TableSpec,
     timeout: Optional[float] = 60.0,
     max_states: Optional[int] = 2_000_000,
     verbose: bool = False,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+    term_grace: float = TERM_GRACE_SECONDS,
 ) -> TableResult:
-    """Run every cell of a table spec with the given budgets."""
+    """Run every cell of a table spec with the given budgets.
+
+    With ``workers > 1`` up to that many cells run concurrently, each in its
+    own forked child with the per-cell wall-clock budget still enforced by
+    the scheduler.  A ``store`` journals every completed cell immediately;
+    with ``resume=True`` cells whose canonical key the store already holds
+    are reused instead of re-run, so an interrupted sweep loses at most the
+    cells that were in flight.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     result = TableResult(spec=spec)
-    for row_key, cells in spec.rows:
-        for column, task, params in cells:
-            case_params = dict(params)
-            if max_states is not None and "max_states" not in case_params:
-                case_params["max_states"] = max_states
-            outcome = run_case(task, case_params, timeout=timeout)
-            result.outcomes[(row_key, column)] = outcome
-            if verbose:
-                print(f"  {spec.name} {row_key} {column}: {outcome.cell()}", flush=True)
+    cells = _resolved_cells(spec, max_states)
+    if store is not None:
+        store.record_spec(spec.name, spec.title, spec.row_header, cells)
+
+    def reusable(stored: CaseOutcome, stored_budget: Optional[float]) -> bool:
+        # A completed (or errored) cell is conclusive under any budget; a TO
+        # is only conclusive if it was taken under at least the current
+        # budget — resuming with a larger --timeout must retry TO cells.
+        if not stored.timed_out:
+            return True
+        return (
+            timeout is not None
+            and stored_budget is not None
+            and stored_budget >= timeout
+        )
+
+    progress = _Progress(spec.name, len(cells), verbose)
+    pending: List[Tuple[Tuple, str, str, Dict[str, object]]] = []
+    for row_key, column, task, case_params in cells:
+        stored = store.get(task, case_params) if store is not None and resume else None
+        if stored is not None and reusable(stored, store.budget_for(task, case_params)):
+            result.outcomes[(row_key, column)] = stored
+            progress.report(row_key, column, stored, cached=True)
+        else:
+            pending.append((row_key, column, task, case_params))
+
+    def record(row_key: Tuple, column: str, outcome: CaseOutcome) -> None:
+        result.outcomes[(row_key, column)] = outcome
+        if store is not None:
+            store.record(outcome, timeout=timeout)
+        progress.report(row_key, column, outcome)
+
+    if workers == 1:
+        for row_key, column, task, case_params in pending:
+            outcome = run_case(
+                task, case_params, timeout=timeout, term_grace=term_grace
+            )
+            record(row_key, column, outcome)
+        return result
+
+    # Worker-pool scheduler: keep up to ``workers`` forked children in
+    # flight; wake on child exit (their sentinels) or the earliest deadline,
+    # harvest whatever finished or busted its budget, then refill.
+    in_flight: Dict[Tuple[Tuple, str], CaseHandle] = {}
+    next_cell = 0
+    while next_cell < len(pending) or in_flight:
+        while next_cell < len(pending) and len(in_flight) < workers:
+            row_key, column, task, case_params = pending[next_cell]
+            next_cell += 1
+            in_flight[(row_key, column)] = CaseHandle(
+                task, case_params, timeout=timeout, term_grace=term_grace
+            )
+        now = time.perf_counter()
+        deadlines = [
+            handle.deadline - now
+            for handle in in_flight.values()
+            if handle.deadline is not None
+        ]
+        wait_for = max(0.0, min(deadlines)) if deadlines else None
+        _wait_sentinels(
+            [handle.sentinel for handle in in_flight.values()], timeout=wait_for
+        )
+        for key in list(in_flight):
+            outcome = in_flight[key].poll()
+            if outcome is not None:
+                del in_flight[key]
+                record(key[0], key[1], outcome)
     return result
 
 
@@ -93,6 +217,54 @@ def render_table(result: TableResult) -> str:
     for row in body:
         lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
     return "\n".join(lines)
+
+
+def render_json(result: TableResult) -> str:
+    """Render a table result as structured JSON (full outcomes, not just cells)."""
+    spec = result.spec
+    columns = spec.columns()
+    rows = []
+    for row_key, _ in spec.rows:
+        cells: Dict[str, object] = {}
+        for column in columns:
+            outcome = result.outcomes.get((row_key, column))
+            if outcome is None:
+                cells[column] = None
+                continue
+            cells[column] = {
+                "cell": outcome.cell(),
+                "seconds": outcome.seconds,
+                "timed_out": outcome.timed_out,
+                "error": outcome.error,
+                "result": outcome.result,
+            }
+        rows.append({"key": list(row_key), "cells": cells})
+    return json.dumps(
+        {
+            "table": spec.name,
+            "title": spec.title,
+            "row_header": list(spec.row_header),
+            "columns": columns,
+            "rows": rows,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_csv(result: TableResult) -> str:
+    """Render a table result as CSV: row-header columns then one per cell."""
+    spec = result.spec
+    columns = spec.columns()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(spec.row_header) + columns)
+    for row_key, _ in spec.rows:
+        writer.writerow(
+            [str(part) for part in row_key]
+            + [result.cell(row_key, column) for column in columns]
+        )
+    return buffer.getvalue()
 
 
 # ---------------------------------------------------------------------------

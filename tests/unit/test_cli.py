@@ -40,6 +40,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args([])
 
+    def test_table_commands_have_grid_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table3", "--workers", "4", "--output", "out.jsonl", "--resume",
+             "--format", "csv"]
+        )
+        assert args.workers == 4
+        assert args.output == "out.jsonl"
+        assert args.resume is True
+        assert args.format == "csv"
+
+    def test_workers_defaults_to_cpu_count(self):
+        from repro.cli import default_workers
+
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.workers == default_workers() >= 1
+
+    def test_failures_flag_is_validated(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["synthesize", "--exchange", "emin", "--agents", "2", "--faulty",
+             "1", "--failures", "general"]
+        )
+        assert args.failures == "general"
+        for command in (["synthesize"], ["check"]):
+            with pytest.raises(SystemExit):
+                parser.parse_args(
+                    command
+                    + ["--exchange", "emin", "--agents", "2", "--faulty", "1",
+                       "--failures", "byzantine"]
+                )
+
 
 class TestCommands:
     def test_synthesize_sba_prints_conditions(self, capsys):
@@ -112,3 +145,72 @@ class TestCommands:
         assert code == 0
         assert "Table 1" in captured.out
         assert "floodset-synth" in captured.out
+
+    def test_synthesize_eba_defaults_to_sending_omissions(self, capsys):
+        # Table 3's EBA experiments and the task defaults use sending
+        # omissions; the CLI must agree when --failures is not given.
+        code = main(["synthesize", "--exchange", "emin", "--agents", "2",
+                     "--faulty", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sending failures" in captured.out
+
+    def test_synthesize_sba_defaults_to_crash(self, capsys):
+        code = main(["synthesize", "--exchange", "floodset", "--agents", "2",
+                     "--faulty", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "crash failures" in captured.out
+
+    def test_check_eba_defaults_to_sending_omissions(self, capsys):
+        code = main(["check", "--exchange", "emin", "--agents", "2",
+                     "--faulty", "1", "--timeout", "120"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "failures: sending" in captured.out
+
+    def test_table_command_with_output_and_report(self, capsys, tmp_path):
+        results = tmp_path / "t1.jsonl"
+        code = main(["table1", "--max-n", "2", "--timeout", "60", "--quiet",
+                     "--workers", "2", "--output", str(results)])
+        table_out = capsys.readouterr().out
+        assert code == 0
+        assert results.exists()
+
+        code = main(["report", str(results)])
+        report_out = capsys.readouterr().out
+        assert code == 0
+        assert report_out.strip() == table_out.strip()
+
+        code = main(["report", str(results), "--format", "csv"])
+        csv_out = capsys.readouterr().out
+        assert code == 0
+        assert csv_out.splitlines()[0] == "n,t,floodset-mc,floodset-synth,count-mc,count-synth"
+
+        code = main(["report", str(results), "--format", "json"])
+        json_out = capsys.readouterr().out
+        assert code == 0
+        assert '"table": "table1"' in json_out
+
+    def test_resume_requires_output(self, capsys):
+        code = main(["table1", "--max-n", "2", "--resume", "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--output" in captured.err
+
+    def test_report_missing_file_fails(self, capsys):
+        code = main(["report", "/nonexistent/results.jsonl"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no results file" in captured.err
+
+    def test_corrupt_journal_exits_cleanly(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text('not json\n{"also": "not a record"}\n')
+        code = main(["report", str(corrupt)])
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err
+        code = main(["table1", "--max-n", "2", "--quiet",
+                     "--output", str(corrupt)])
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err

@@ -1,18 +1,37 @@
 """Unit tests for the benchmark harness (runner and tables)."""
 
+import multiprocessing
+import os
+import signal
+import time
+
 import pytest
 
 from repro.harness.runner import CaseOutcome, run_case
+from repro.harness.tasks import TASKS
 from repro.harness.tables import (
     TableSpec,
     ablation_failure_models,
     ablation_temporal_only,
+    render_csv,
+    render_json,
     render_table,
     run_table,
     table1_spec,
     table2_spec,
     table3_spec,
 )
+
+QUICK_CASE = {"exchange": "floodset", "num_agents": 2, "max_faulty": 1}
+
+
+def _stubborn_sleep(seconds: float = 30.0) -> dict:
+    """A task that ignores SIGTERM — only SIGKILL can stop it early."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+    return {}
 
 
 class TestRunCase:
@@ -74,6 +93,69 @@ class TestRunCase:
     def test_cell_formatting(self):
         outcome = CaseOutcome(task="x", params={}, seconds=75.5, timed_out=False)
         assert outcome.cell() == "1m15.500"
+
+    def test_cell_formatting_zero_pads_seconds(self):
+        # The paper's MmSS.mmm rendering: seconds below ten keep two digits.
+        cases = {5.123: "0m05.123", 0.007: "0m00.007", 61.05: "1m01.050",
+                 600.0: "10m00.000"}
+        for seconds, expected in cases.items():
+            outcome = CaseOutcome(task="x", params={}, seconds=seconds,
+                                  timed_out=False)
+            assert outcome.cell() == expected, seconds
+
+
+class TestRunnerResourceHandling:
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs /proc fd accounting"
+    )
+    def test_many_cases_do_not_leak_fds(self):
+        # Warm up lazy multiprocessing machinery (resource tracker etc.)
+        # before taking the baseline.
+        run_case("sba-synthesis", QUICK_CASE, timeout=30.0)
+        run_case("sba-synthesis", dict(QUICK_CASE, max_states=1), timeout=30.0)
+        baseline = len(os.listdir("/proc/self/fd"))
+        for _ in range(20):
+            outcome = run_case("sba-synthesis", QUICK_CASE, timeout=30.0)
+            assert outcome.ok
+        # A timed-out cell must release its pipe and process too.
+        slow = run_case(
+            "sba-synthesis",
+            {"exchange": "count", "num_agents": 5, "max_faulty": 5},
+            timeout=0.2,
+        )
+        assert slow.timed_out
+        # 21 leaky cells would show as ~40 extra fds; allow slack of two for
+        # unrelated interpreter jitter.
+        assert len(os.listdir("/proc/self/fd")) <= baseline + 2
+        assert multiprocessing.active_children() == []
+
+    def test_seconds_measured_in_child_not_at_harvest(self):
+        # The scheduler may harvest long after the child exits (e.g. while
+        # escalating a sibling's kill); the reported time must be the
+        # child's own measurement, not the harvest delay.
+        from repro.harness.runner import CaseHandle
+
+        handle = CaseHandle("sba-synthesis", dict(QUICK_CASE), timeout=60.0)
+        handle.join(30.0)
+        time.sleep(1.0)  # simulate a busy scheduler
+        outcome = handle.harvest()
+        assert outcome.ok
+        assert outcome.seconds < 0.9
+
+    def test_timeout_escalates_to_kill_on_sigterm_ignoring_child(
+        self, monkeypatch
+    ):
+        # The fork context lets the child inherit the patched registry.
+        monkeypatch.setitem(TASKS, "stubborn-sleep", _stubborn_sleep)
+        start = time.monotonic()
+        outcome = run_case(
+            "stubborn-sleep", {"seconds": 30.0}, timeout=0.2, term_grace=0.5
+        )
+        elapsed = time.monotonic() - start
+        assert outcome.timed_out
+        assert outcome.cell() == "TO"
+        assert elapsed < 10.0, f"kill escalation took {elapsed:.1f}s"
+        assert multiprocessing.active_children() == []
 
 
 class TestTableSpecs:
@@ -147,3 +229,57 @@ class TestRunAndRenderTable:
         empty = TableResult(spec=spec)
         rendered = render_table(empty)
         assert "-" in rendered
+
+    def test_structured_exporters(self):
+        import json
+
+        spec = table1_spec(max_n=2, include_count=False)
+        result = run_table(spec, timeout=60.0, verbose=False)
+        payload = json.loads(render_json(result))
+        assert payload["table"] == "table1"
+        assert payload["columns"] == ["floodset-mc", "floodset-synth"]
+        assert all(
+            cell["seconds"] is not None
+            for row in payload["rows"]
+            for cell in row["cells"].values()
+        )
+        csv_lines = render_csv(result).strip().splitlines()
+        assert csv_lines[0] == "n,t,floodset-mc,floodset-synth"
+        assert len(csv_lines) == 1 + len(spec.rows)
+
+
+class TestParallelRunTable:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_table(table1_spec(max_n=2), workers=0)
+
+    def test_parallel_matches_sequential_cell_for_cell(self):
+        spec = table1_spec(max_n=2)
+        sequential = run_table(spec, timeout=120.0, workers=1, verbose=False)
+        parallel = run_table(spec, timeout=120.0, workers=4, verbose=False)
+        assert set(sequential.outcomes) == set(parallel.outcomes)
+        for key, seq_outcome in sequential.outcomes.items():
+            par_outcome = parallel.outcomes[key]
+            assert par_outcome.result == seq_outcome.result, key
+            assert par_outcome.timed_out == seq_outcome.timed_out, key
+            assert par_outcome.error == seq_outcome.error, key
+
+    def test_parallel_timeout_cells_render_to(self, monkeypatch):
+        monkeypatch.setitem(TASKS, "stubborn-sleep", _stubborn_sleep)
+        spec = TableSpec(
+            name="mini-to",
+            title="Timeout mini table",
+            row_header=("i",),
+            rows=[
+                ((i,), [("sleep", "stubborn-sleep", {"seconds": 30.0 + i})])
+                for i in range(3)
+            ],
+        )
+        start = time.monotonic()
+        result = run_table(
+            spec, timeout=0.2, max_states=None, workers=3, term_grace=0.5
+        )
+        elapsed = time.monotonic() - start
+        assert [result.cell((i,), "sleep") for i in range(3)] == ["TO"] * 3
+        assert elapsed < 15.0
+        assert multiprocessing.active_children() == []

@@ -1,0 +1,230 @@
+"""Unit tests for the persistent result store (journal, resume, report)."""
+
+import json
+
+import pytest
+
+import repro.harness.tables as tables_module
+from repro.harness.runner import CaseOutcome
+from repro.harness.store import (
+    ResultStore,
+    canonical_key,
+    outcome_from_record,
+    outcome_to_record,
+)
+from repro.harness.tables import (
+    TableSpec,
+    render_table,
+    run_table,
+    table1_spec,
+)
+
+
+def _outcome(**overrides) -> CaseOutcome:
+    base = dict(
+        task="sba-synthesis",
+        params={"exchange": "floodset", "num_agents": 2, "max_faulty": 1},
+        seconds=0.25,
+        timed_out=False,
+        error=None,
+        result={"n": 2, "t": 1},
+    )
+    base.update(overrides)
+    return CaseOutcome(**base)
+
+
+class TestCanonicalKey:
+    def test_key_ignores_parameter_order(self):
+        a = canonical_key("t", {"x": 1, "y": "s"})
+        b = canonical_key("t", {"y": "s", "x": 1})
+        assert a == b
+
+    def test_key_distinguishes_task_and_params(self):
+        base = canonical_key("t", {"x": 1})
+        assert canonical_key("u", {"x": 1}) != base
+        assert canonical_key("t", {"x": 2}) != base
+
+
+class TestOutcomeRecords:
+    @pytest.mark.parametrize(
+        "outcome",
+        [
+            _outcome(),
+            _outcome(seconds=None, timed_out=True, result=None),
+            _outcome(seconds=None, error="boom", result=None),
+        ],
+    )
+    def test_round_trip(self, outcome):
+        assert outcome_from_record(outcome_to_record(outcome)) == outcome
+
+
+class TestResultStore:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        outcome = _outcome()
+        store.record(outcome)
+        store.record(_outcome(params={"exchange": "floodset", "num_agents": 3,
+                                      "max_faulty": 1}, result={"n": 3}))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.get(outcome.task, outcome.params) == outcome
+
+    def test_last_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.record(_outcome(seconds=1.0))
+        store.record(_outcome(seconds=2.0))
+        reloaded = ResultStore(store.path)
+        assert len(reloaded) == 1
+        assert reloaded.get(
+            "sba-synthesis",
+            {"exchange": "floodset", "num_agents": 2, "max_faulty": 1},
+        ).seconds == 2.0
+
+    def test_corrupt_journal_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('not json\n' + json.dumps(
+            outcome_to_record(_outcome())) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            ResultStore(path)
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        # A kill mid-append leaves a torn last line; the journal must still
+        # load every complete record (that is the whole point of the store).
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.record(_outcome())
+        with path.open("a") as handle:
+            handle.write('{"kind": "outcome", "task": "sba-syn')
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+
+    def test_budget_is_journalled_with_the_outcome(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        outcome = _outcome()
+        store.record(outcome, timeout=30.0)
+        reloaded = ResultStore(store.path)
+        assert reloaded.budget_for(outcome.task, outcome.params) == 30.0
+
+    def test_load_result_requires_spec_record(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.record(_outcome())
+        with pytest.raises(ValueError, match="no spec record"):
+            store.load_result()
+
+
+class TestRunTableWithStore:
+    SPEC_KWARGS = dict(max_n=2, include_count=False)
+
+    def test_store_round_trip_rerenders_identically(self, tmp_path):
+        spec = table1_spec(**self.SPEC_KWARGS)
+        store = ResultStore(tmp_path / "t1.jsonl")
+        result = run_table(spec, timeout=60.0, store=store, verbose=False)
+        reloaded = ResultStore(store.path).load_result()
+        assert render_table(reloaded) == render_table(result)
+        # The journal is line-oriented JSON: one spec record + one per cell.
+        records = [json.loads(line)
+                   for line in store.path.read_text().splitlines()]
+        assert [r["kind"] for r in records].count("spec") == 1
+        assert [r["kind"] for r in records].count("outcome") == len(
+            result.outcomes
+        )
+
+    def test_resume_skips_completed_cells(self, tmp_path, monkeypatch):
+        full_spec = table1_spec(**self.SPEC_KWARGS)
+        # Simulate a sweep killed midway: only the first row completed.
+        partial_spec = TableSpec(
+            name=full_spec.name,
+            title=full_spec.title,
+            row_header=full_spec.row_header,
+            rows=full_spec.rows[:1],
+        )
+        store = ResultStore(tmp_path / "t1.jsonl")
+        run_table(partial_spec, timeout=60.0, store=store, verbose=False)
+        completed = set(store.outcomes)
+
+        executed = []
+        real_run_case = tables_module.run_case
+
+        def counting_run_case(task, params, **kwargs):
+            executed.append(canonical_key(task, params))
+            return real_run_case(task, params, **kwargs)
+
+        monkeypatch.setattr(tables_module, "run_case", counting_run_case)
+        resumed = run_table(
+            full_spec,
+            timeout=60.0,
+            store=ResultStore(store.path),
+            resume=True,
+            verbose=False,
+        )
+        # Every cell is present, but only the second row was executed.
+        assert len(resumed.outcomes) == 2 * len(full_spec.columns())
+        assert len(executed) == len(full_spec.columns())
+        assert not completed.intersection(executed)
+
+    def test_resume_skips_in_parallel_mode_too(self, tmp_path, monkeypatch):
+        spec = table1_spec(**self.SPEC_KWARGS)
+        store = ResultStore(tmp_path / "t1.jsonl")
+        first = run_table(spec, timeout=60.0, workers=2, store=store,
+                          verbose=False)
+
+        def exploding_handle(*args, **kwargs):
+            raise AssertionError("resume re-ran a completed cell")
+
+        monkeypatch.setattr(tables_module, "CaseHandle", exploding_handle)
+        resumed = run_table(
+            spec,
+            timeout=60.0,
+            workers=2,
+            store=ResultStore(store.path),
+            resume=True,
+            verbose=False,
+        )
+        assert set(resumed.outcomes) == set(first.outcomes)
+
+    def test_resume_retries_to_cells_under_a_larger_budget(self, tmp_path):
+        spec = TableSpec(
+            name="mini",
+            title="Mini",
+            row_header=("i",),
+            rows=[
+                ((0,), [(
+                    "synth",
+                    "sba-synthesis",
+                    {"exchange": "floodset", "num_agents": 2, "max_faulty": 1},
+                )])
+            ],
+        )
+        to_outcome = CaseOutcome(
+            task="sba-synthesis",
+            params={"exchange": "floodset", "num_agents": 2, "max_faulty": 1,
+                    "max_states": 2_000_000},
+            seconds=None,
+            timed_out=True,
+        )
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.record(to_outcome, timeout=0.5)
+
+        # Same (or smaller) budget: the TO is conclusive and is reused.
+        reused = run_table(spec, timeout=0.5, store=ResultStore(store.path),
+                           resume=True, verbose=False)
+        assert reused.cell((0,), "synth") == "TO"
+
+        # Larger budget: the TO must be retried (and now completes).
+        retried = run_table(spec, timeout=60.0, store=ResultStore(store.path),
+                            resume=True, verbose=False)
+        assert retried.cell((0,), "synth") != "TO"
+
+    def test_rerun_without_resume_overwrites(self, tmp_path):
+        spec = table1_spec(**self.SPEC_KWARGS)
+        store = ResultStore(tmp_path / "t1.jsonl")
+        run_table(spec, timeout=60.0, store=store, verbose=False)
+        run_table(spec, timeout=60.0, store=ResultStore(store.path),
+                  verbose=False)
+        reloaded = ResultStore(store.path)
+        # Duplicate keys collapse on reload; the rendered table is complete.
+        assert len(reloaded) == sum(len(cells) for _, cells in spec.rows)
+        assert "-" not in render_table(reloaded.load_result()).split(
+            "\n", 3
+        )[3]
