@@ -4,7 +4,8 @@ in Consensus Protocols* (PODC 2025).
 The package provides:
 
 * an epistemic model checker and knowledge-based-program synthesizer under
-  the clock semantics of knowledge (:mod:`repro.core`),
+  the clock semantics of knowledge (:mod:`repro.core`), with a symbolic BDD
+  backend (:mod:`repro.symbolic`) selectable through :mod:`repro.engines`,
 * the information exchanges and failure models studied by the paper
   (:mod:`repro.exchanges`, :mod:`repro.failures`),
 * the concrete decision protocols from the literature
@@ -24,9 +25,11 @@ Quick start::
 """
 
 from repro.version import __version__
-from repro.factory import build_eba_model, build_sba_model
+from repro.engines import DEFAULT_ENGINE, ENGINES, checker_for
+from repro.factory import build_checker, build_eba_model, build_sba_model
 from repro.core.synthesis import synthesize_eba, synthesize_sba
 from repro.core.checker import ModelChecker
+from repro.symbolic import SymbolicChecker
 from repro.systems.model import BAModel
 from repro.systems.space import build_space
 
@@ -34,9 +37,14 @@ __all__ = [
     "__version__",
     "build_sba_model",
     "build_eba_model",
+    "build_checker",
+    "checker_for",
     "synthesize_sba",
     "synthesize_eba",
     "ModelChecker",
+    "SymbolicChecker",
     "BAModel",
     "build_space",
+    "DEFAULT_ENGINE",
+    "ENGINES",
 ]

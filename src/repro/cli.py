@@ -8,13 +8,18 @@ Examples::
     python -m repro report table3.jsonl --format csv
     python -m repro synthesize --exchange floodset --agents 3 --faulty 1
     python -m repro check --exchange floodset --agents 3 --faulty 2
+    python -m repro check --exchange floodset --agents 3 --faulty 2 --engine symbolic
+    python -m repro table3 --max-n 3 --engine symbolic --output table3-sym.jsonl
 
 The table commands print the same row/column structure as the paper's
 Tables 1–3, with ``TO`` entries for cases exceeding the time budget.  With
 ``--workers N`` cells run on a pool of N concurrent forked children; with
 ``--output FILE`` every completed cell is journalled so ``--resume`` can
 pick an interrupted sweep back up and ``report`` can re-render the results
-(text, JSON or CSV) without re-running anything.
+(text, JSON or CSV) without re-running anything.  ``--engine`` selects the
+satisfaction backend (bitset, symbolic BDD, or the set-based reference
+oracle); it is recorded in every journalled cell's key and in the spec
+record, so resumed grids never silently mix backends.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.synthesis import synthesize_eba, synthesize_sba
+from repro.engines import DEFAULT_ENGINE, ENGINES
 from repro.factory import EBA_EXCHANGES, SBA_EXCHANGES, build_eba_model, build_sba_model
 from repro.failures import FAILURE_MODELS
 from repro.harness.runner import run_case
@@ -103,15 +109,15 @@ def _render_result(result: TableResult, fmt: str) -> str:
 
 def _table_command(args: argparse.Namespace) -> int:
     if args.command == "table1":
-        spec = table1_spec(max_n=args.max_n)
+        spec = table1_spec(max_n=args.max_n, engine=args.engine)
     elif args.command == "table2":
-        spec = table2_spec(max_n=args.max_n)
+        spec = table2_spec(max_n=args.max_n, engine=args.engine)
     elif args.command == "table3":
-        spec = table3_spec(max_n=args.max_n)
+        spec = table3_spec(max_n=args.max_n, engine=args.engine)
     elif args.command == "ablation-temporal":
-        spec = ablation_temporal_only(max_n=args.max_n)
+        spec = ablation_temporal_only(max_n=args.max_n, engine=args.engine)
     elif args.command == "ablation-failures":
-        spec = ablation_failure_models(max_n=args.max_n)
+        spec = ablation_failure_models(max_n=args.max_n, engine=args.engine)
     else:  # pragma: no cover - argparse restricts the choices
         raise ValueError(args.command)
     if args.workers < 1:
@@ -161,19 +167,21 @@ def _synthesize_command(args: argparse.Namespace) -> int:
             args.exchange, num_agents=args.agents, max_faulty=args.faulty,
             num_values=args.values, failures=failures,
         )
-        result = synthesize_sba(model)
+        result = synthesize_sba(model, engine=args.engine)
         print(f"Synthesized SBA conditions for {args.exchange} "
-              f"(n={args.agents}, t={args.faulty}, {failures} failures):")
+              f"(n={args.agents}, t={args.faulty}, {failures} failures, "
+              f"{args.engine} engine):")
         print(result.conditions.describe(method=args.minimise))
     elif args.exchange in EBA_EXCHANGES:
         model = build_eba_model(
             args.exchange, num_agents=args.agents, max_faulty=args.faulty,
             failures=failures,
         )
-        result = synthesize_eba(model)
+        result = synthesize_eba(model, engine=args.engine)
         print(f"Synthesized EBA conditions for {args.exchange} "
               f"(n={args.agents}, t={args.faulty}, {failures} failures, "
-              f"{result.iterations} iterations, converged={result.converged}):")
+              f"{args.engine} engine, {result.iterations} iterations, "
+              f"converged={result.converged}):")
         print(result.conditions.describe(method=args.minimise))
     else:
         print(f"unknown exchange {args.exchange!r}", file=sys.stderr)
@@ -188,6 +196,7 @@ def _check_command(args: argparse.Namespace) -> int:
         "num_agents": args.agents,
         "max_faulty": args.faulty,
         "failures": args.failures or _default_failures(args.exchange),
+        "engine": args.engine,
     }
     if task == "sba-model-check":
         params["num_values"] = args.values
@@ -211,6 +220,17 @@ def _add_failures_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    # choices= validates the name the same way --failures is validated: an
+    # unknown engine exits with status 2 and the list of known backends.
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="satisfaction engine: the explicit packed-bitset engine (the "
+             "default), the symbolic BDD backend, or the set-based reference "
+             f"oracle (default: {DEFAULT_ENGINE})",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -224,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-n", type=int, default=4, help="largest number of agents")
         _add_budget_arguments(sub)
         _add_grid_arguments(sub)
+        _add_engine_argument(sub)
         sub.set_defaults(func=_table_command)
 
     report = subparsers.add_parser(
@@ -242,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--faulty", type=int, required=True)
     synth.add_argument("--values", type=int, default=2)
     _add_failures_argument(synth)
+    _add_engine_argument(synth)
     synth.add_argument(
         "--minimise", choices=("auto", "qm", "espresso"), default="auto",
         help="condition-minimisation backend: exact Quine-McCluskey, the "
@@ -256,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--faulty", type=int, required=True)
     check.add_argument("--values", type=int, default=2)
     _add_failures_argument(check)
+    _add_engine_argument(check)
     check.add_argument("--optimal", action="store_true",
                        help="check the optimal (revised) literature protocol")
     check.add_argument("--timeout", type=float, default=600.0)

@@ -74,7 +74,74 @@ from repro.systems.space import LevelledSpace, Point
 SatSet = List[Set[int]]
 
 
-class ModelChecker:
+class PackedQueryMixin:
+    """Query helpers over a ``check_bits`` engine.
+
+    Shared by every checker that exposes ``self.space`` and a packed
+    :meth:`check_bits` (the bitset and symbolic engines), so the query layer
+    — the satisfaction notions the rest of the stack consumes — cannot
+    drift between backends.  Engines with a cheaper native comparison may
+    override individual queries (the symbolic checker answers ``holds_*``
+    by BDD handle equality).
+    """
+
+    def check_bits(self, formula: Formula) -> BitSat:  # pragma: no cover
+        raise NotImplementedError
+
+    def holds_at(self, formula: Formula, point: Point) -> bool:
+        """Whether the formula holds at a specific point."""
+        time, index = point
+        return bool((self.check_bits(formula)[time] >> index) & 1)
+
+    def holds_initially(self, formula: Formula) -> bool:
+        """Whether the formula holds at every initial (time 0) point.
+
+        This is the satisfaction notion used for MCK ``spec`` statements.
+        """
+        return self.check_bits(formula)[0] == self.space.level_mask(0)
+
+    def holds_everywhere(self, formula: Formula) -> bool:
+        """Whether the formula holds at every reachable point."""
+        bits = self.check_bits(formula)
+        return all(
+            bits[time] == self.space.level_mask(time)
+            for time in range(len(self.space.levels))
+        )
+
+    def counterexamples(self, formula: Formula, limit: Optional[int] = None) -> List[Point]:
+        """Points at which the formula fails (up to ``limit`` of them)."""
+        bits = self.check_bits(formula)
+        found: List[Point] = []
+        for time in range(len(self.space.levels)):
+            failing = self.space.level_mask(time) & ~bits[time]
+            while failing:
+                low = failing & -failing
+                found.append((time, low.bit_length() - 1))
+                if limit is not None and len(found) >= limit:
+                    return found
+                failing ^= low
+        return found
+
+    def satisfying_observations(
+        self, formula: Formula, time: int, agent: int
+    ) -> Set[Tuple]:
+        """Observations of ``agent`` at ``time`` whose states all satisfy ``formula``.
+
+        For formulas of the form ``K_agent``/``B^N_agent`` applied to anything,
+        satisfaction is constant across an observation group, so this returns
+        exactly the observations at which the agent's knowledge condition
+        holds — the raw material of synthesis.
+        """
+        satisfied = self.check_bits(formula)[time]
+        masks = self.space.observation_masks(time, agent)
+        return {
+            observation
+            for observation, block in masks.items()
+            if not block & ~satisfied
+        }
+
+
+class ModelChecker(PackedQueryMixin):
     """Model checker for a (possibly partially built) levelled state space."""
 
     def __init__(self, space: LevelledSpace) -> None:
@@ -105,58 +172,6 @@ class ModelChecker:
             cached = to_level_sets(self.check_bits(formula))
             self._set_cache[formula] = cached
         return cached
-
-    def holds_at(self, formula: Formula, point: Point) -> bool:
-        """Whether the formula holds at a specific point."""
-        time, index = point
-        return bool((self.check_bits(formula)[time] >> index) & 1)
-
-    def holds_initially(self, formula: Formula) -> bool:
-        """Whether the formula holds at every initial (time 0) point.
-
-        This is the satisfaction notion used for MCK ``spec`` statements.
-        """
-        return self.check_bits(formula)[0] == self.space.level_mask(0)
-
-    def holds_everywhere(self, formula: Formula) -> bool:
-        """Whether the formula holds at every reachable point."""
-        bits = self.check_bits(formula)
-        return all(
-            bits[time] == self.space.level_mask(time)
-            for time in range(len(self.space.levels))
-        )
-
-    def counterexamples(self, formula: Formula, limit: Optional[int] = None) -> List[Point]:
-        """Points at which the formula fails (up to ``limit`` of them)."""
-        bits = self.check_bits(formula)
-        found: List[Point] = []
-        for time, level in enumerate(self.space.levels):
-            failing = self.space.level_mask(time) & ~bits[time]
-            while failing:
-                low = failing & -failing
-                found.append((time, low.bit_length() - 1))
-                if limit is not None and len(found) >= limit:
-                    return found
-                failing ^= low
-        return found
-
-    def satisfying_observations(
-        self, formula: Formula, time: int, agent: int
-    ) -> Set[Tuple]:
-        """Observations of ``agent`` at ``time`` whose states all satisfy ``formula``.
-
-        For formulas of the form ``K_agent``/``B^N_agent`` applied to anything,
-        satisfaction is constant across an observation group, so this returns
-        exactly the observations at which the agent's knowledge condition
-        holds — the raw material of synthesis.
-        """
-        satisfied = self.check_bits(formula)[time]
-        masks = self.space.observation_masks(time, agent)
-        return {
-            observation
-            for observation, block in masks.items()
-            if not block & ~satisfied
-        }
 
     # -------------------------------------------------------------- evaluation
 

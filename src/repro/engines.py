@@ -1,0 +1,87 @@
+"""Pluggable satisfaction-engine selection.
+
+The repository ships three satisfaction backends over the same
+:class:`~repro.systems.space.LevelledSpace` and :mod:`repro.logic` formula
+AST:
+
+* ``bitset`` — the explicit packed-bitset engine
+  (:class:`~repro.core.checker.ModelChecker`); the default and the fastest
+  on the paper's table workloads.
+* ``symbolic`` — the BDD-backed engine
+  (:class:`~repro.symbolic.checker.SymbolicChecker`), which represents
+  satisfaction sets and the epistemic relations as factored BDDs.
+* ``set`` — the literal set-based reference engine
+  (:class:`~repro.core.reference.SetChecker`), retained as the executable
+  specification and test oracle.
+
+Every layer that evaluates formulas (synthesis, KBP verification, harness
+tasks, the CLI) takes an ``engine`` parameter validated by
+:func:`validate_engine` and instantiates its checker through
+:func:`checker_for`, so backends can never be mixed silently within one
+computation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.logic.formula import Formula
+
+#: The known satisfaction engines, in preference order.
+ENGINES = ("bitset", "symbolic", "set")
+
+#: The engine used when none is requested.
+DEFAULT_ENGINE = "bitset"
+
+
+def validate_engine(engine: str) -> str:
+    """Check an engine name against the known backends.
+
+    Returns the name unchanged; raises ``ValueError`` with the list of known
+    engines otherwise (the CLI surfaces this via ``argparse`` choices, the
+    task layer via the runner's error channel).
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"{engine!r} is not a satisfaction engine (expected one of {ENGINES})"
+        )
+    return engine
+
+
+def checker_for(space, engine: str = DEFAULT_ENGINE):
+    """A fresh checker over ``space`` for the requested engine.
+
+    All three checkers expose ``check``, ``holds_at``, ``holds_initially``
+    and ``holds_everywhere``; the bitset and symbolic engines additionally
+    expose ``check_bits`` (use :func:`check_bits` to consume any of them in
+    packed form).
+    """
+    validate_engine(engine)
+    if engine == "bitset":
+        from repro.core.checker import ModelChecker
+
+        return ModelChecker(space)
+    if engine == "symbolic":
+        from repro.symbolic.checker import SymbolicChecker
+
+        return SymbolicChecker(space)
+    from repro.core.reference import SetChecker
+
+    return SetChecker(space)
+
+
+def check_bits(checker, formula: Formula) -> List[int]:
+    """A checker's satisfaction set in packed bitmask form, whatever the engine.
+
+    Uses the engine's native ``check_bits`` when it has one; the set-based
+    reference engine is adapted through
+    :func:`~repro.core.bitset.from_level_sets`.
+    """
+    native = getattr(checker, "check_bits", None)
+    if native is not None:
+        return native(formula)
+    # Imported here: repro.core's package init pulls in the synthesis layer,
+    # which itself imports this module.
+    from repro.core.bitset import from_level_sets
+
+    return from_level_sets(checker.check(formula))

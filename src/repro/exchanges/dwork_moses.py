@@ -90,7 +90,21 @@ class DworkMosesExchange(InformationExchange):
         known = local.known_faulty | silent | reported
         newly_faulty = known - local.known_faulty
         round_number = time + 1
-        waste = max(local.waste, len(known) - round_number)
+        # A failure arriving in a sender's NF broadcast was *newly known to
+        # the sender in the previous round*, so it counts towards
+        # d_{round-1}, not d_round — attributing it to the receiving round
+        # under-estimates the waste and can break simultaneity: the direct
+        # witness of two same-round crashes decides at t + 1 - 1 while an
+        # agent that only heard about them decides at t + 1 (found by the
+        # random-run property test at n=4, t=2 with asymmetric last-round
+        # delivery).  The waste is therefore max over both attributions:
+        # everything known by the end of the previous round (own knowledge
+        # plus reports) against round-1, and the full new set against round.
+        waste = max(
+            local.waste,
+            len(local.known_faulty | reported) - (round_number - 1),
+            len(known) - round_number,
+        )
 
         return local._replace(
             exists0=exists0,

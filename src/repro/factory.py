@@ -1,15 +1,40 @@
-"""Convenience constructors for the models studied in the paper."""
+"""Convenience constructors for the models and checkers studied in the paper."""
 
 from __future__ import annotations
 
+from repro.engines import DEFAULT_ENGINE, ENGINES, checker_for, validate_engine
 from repro.exchanges import exchange_by_name
 from repro.failures import failure_model_by_name
 from repro.systems.model import BAModel
+from repro.systems.space import LevelledSpace
 
 #: Exchanges usable for the Simultaneous Byzantine Agreement experiments.
 SBA_EXCHANGES = ("floodset", "count", "diff", "dwork-moses")
 #: Exchanges usable for the Eventual Byzantine Agreement experiments.
 EBA_EXCHANGES = ("emin", "ebasic")
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "EBA_EXCHANGES",
+    "ENGINES",
+    "SBA_EXCHANGES",
+    "build_checker",
+    "build_eba_model",
+    "build_sba_model",
+    "checker_for",
+    "validate_engine",
+]
+
+
+def build_checker(space: LevelledSpace, engine: str = DEFAULT_ENGINE):
+    """A satisfaction checker over a built space for a named engine.
+
+    ``engine`` is one of :data:`repro.engines.ENGINES` (``bitset`` — the
+    explicit packed-bitset engine, the default; ``symbolic`` — the BDD
+    backend; ``set`` — the reference oracle).  Unknown names raise
+    ``ValueError`` listing the known engines.
+    """
+    return checker_for(space, engine)
 
 
 def build_sba_model(

@@ -109,13 +109,36 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self.outcomes)
 
+    def _key_candidates(self, task: str, params: Dict[str, object]) -> List[str]:
+        """The store keys a cell may be filed under, most specific first.
+
+        Journals written before engine selection existed carry no ``engine``
+        in their cell parameters; every outcome in them ran on the explicit
+        bitset engine (the only backend at the time).  A *bitset* lookup
+        therefore falls back to the engine-less key, so old sweeps stay
+        resumable; lookups for any other engine never fall back — reusing a
+        pre-engine cell under a different backend would silently mix them.
+        """
+        keys = [canonical_key(task, params)]
+        if params.get("engine") == "bitset":
+            legacy = {name: value for name, value in params.items() if name != "engine"}
+            keys.append(canonical_key(task, legacy))
+        return keys
+
     def get(self, task: str, params: Dict[str, object]) -> Optional[CaseOutcome]:
         """The stored outcome for a cell, or None if it has not completed."""
-        return self.outcomes.get(canonical_key(task, params))
+        for key in self._key_candidates(task, params):
+            outcome = self.outcomes.get(key)
+            if outcome is not None:
+                return outcome
+        return None
 
     def budget_for(self, task: str, params: Dict[str, object]) -> Optional[float]:
         """The wall-clock budget a stored outcome ran under, if recorded."""
-        return self.budgets.get(canonical_key(task, params))
+        for key in self._key_candidates(task, params):
+            if key in self.budgets:
+                return self.budgets[key]
+        return None
 
     def _append(self, record: Dict[str, object]) -> None:
         with self.path.open("a") as handle:
@@ -143,12 +166,15 @@ class ResultStore:
         title: str,
         row_header: Iterable[str],
         cells: Iterable[ResolvedCell],
+        engine: str = "bitset",
     ) -> None:
         """Journal the table structure so the store is self-describing.
 
-        ``cells`` carries the *resolved* parameters (budgets merged in), so
-        :meth:`load_result` can look every cell up by the same canonical key
-        :func:`run_table` records outcomes under.
+        ``cells`` carries the *resolved* parameters (budgets merged in, the
+        satisfaction ``engine`` included), so :meth:`load_result` can look
+        every cell up by the same canonical key :func:`run_table` records
+        outcomes under.  The engine is also recorded at the spec level, so a
+        rendered report names the backend its numbers were measured with.
         """
         rows: List[Dict[str, object]] = []
         by_key: Dict[Tuple, Dict[str, object]] = {}
@@ -164,6 +190,7 @@ class ResultStore:
             "name": name,
             "title": title,
             "row_header": list(row_header),
+            "engine": engine,
             "rows": rows,
         }
         self._append(record)
@@ -191,6 +218,9 @@ class ResultStore:
             name=self._spec_record["name"],
             title=self._spec_record["title"],
             row_header=tuple(self._spec_record["row_header"]),
+            # Journals written before the engine field default to the engine
+            # that was the only backend at the time.
+            engine=self._spec_record.get("engine", "bitset"),
         )
         result = TableResult(spec=spec)
         for row in self._spec_record["rows"]:

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.checker import ModelChecker
 from repro.core.synthesis import synthesize_eba, synthesize_sba
+from repro.engines import DEFAULT_ENGINE, checker_for, validate_engine
 from repro.factory import build_eba_model, build_sba_model
 from repro.kbp.implementation import verify_sba_implementation
 from repro.protocols.eba import EBasicProtocol, EMinProtocol
@@ -51,6 +51,7 @@ def sba_model_check_task(
     rounds: Optional[int] = None,
     optimal_protocol: bool = False,
     max_states: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Model check an SBA protocol: temporal specification + knowledge analysis.
 
@@ -59,6 +60,7 @@ def sba_model_check_task(
     checked, and the protocol's decisions are compared against the knowledge
     condition ``B^N_i CB_N ∃v`` at every point (the optimality check).
     """
+    validate_engine(engine)
     model = build_sba_model(
         exchange, num_agents=num_agents, max_faulty=max_faulty,
         num_values=num_values, failures=failures,
@@ -67,14 +69,19 @@ def sba_model_check_task(
     protocol = _sba_protocol(exchange, num_agents, max_faulty, optimal_protocol)
     space = build_space(model, protocol, horizon=horizon, max_states=max_states)
 
-    checker = ModelChecker(space)
+    checker = checker_for(space, engine)
     spec_results = {
         name: checker.holds_initially(formula)
         for name, formula in sba_spec_formulas(model, horizon).items()
     }
-    report = verify_sba_implementation(model, protocol, space=space)
+    # The verifier shares the checker's engine state (one symbolic encoder
+    # per task, not one for the spec formulas and another for the guards).
+    report = verify_sba_implementation(
+        model, protocol, space=space, engine=engine, checker=checker
+    )
     return {
         "task": "sba-model-check",
+        "engine": engine,
         "exchange": exchange,
         "failures": failures,
         "n": num_agents,
@@ -97,6 +104,7 @@ def sba_temporal_only_task(
     num_values: int = 2,
     failures: str = "crash",
     max_states: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Model check only the purely temporal SBA specification.
 
@@ -104,6 +112,7 @@ def sba_temporal_only_task(
     the temporal specification alone (no knowledge or common-belief
     operators) scales considerably better.
     """
+    validate_engine(engine)
     model = build_sba_model(
         exchange, num_agents=num_agents, max_faulty=max_faulty,
         num_values=num_values, failures=failures,
@@ -111,13 +120,14 @@ def sba_temporal_only_task(
     horizon = model.default_horizon()
     protocol = _sba_protocol(exchange, num_agents, max_faulty, optimal=False)
     space = build_space(model, protocol, horizon=horizon, max_states=max_states)
-    checker = ModelChecker(space)
+    checker = checker_for(space, engine)
     spec_results = {
         name: checker.holds_initially(formula)
         for name, formula in sba_spec_formulas(model, horizon).items()
     }
     return {
         "task": "sba-temporal-only",
+        "engine": engine,
         "exchange": exchange,
         "n": num_agents,
         "t": max_faulty,
@@ -134,13 +144,14 @@ def sba_synthesis_task(
     failures: str = "crash",
     rounds: Optional[int] = None,
     max_states: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Synthesize the optimal SBA protocol for an exchange and failure model."""
     model = build_sba_model(
         exchange, num_agents=num_agents, max_faulty=max_faulty,
         num_values=num_values, failures=failures,
     )
-    result = synthesize_sba(model, horizon=rounds, max_states=max_states)
+    result = synthesize_sba(model, horizon=rounds, max_states=max_states, engine=engine)
     earliest = None
     for time in range(result.space.horizon + 1):
         if any(
@@ -152,6 +163,7 @@ def sba_synthesis_task(
             break
     return {
         "task": "sba-synthesis",
+        "engine": engine,
         "exchange": exchange,
         "failures": failures,
         "n": num_agents,
@@ -167,14 +179,16 @@ def eba_synthesis_task(
     max_faulty: int,
     failures: str = "sending",
     max_states: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Synthesize an implementation of ``P0`` for an EBA exchange."""
     model = build_eba_model(
         exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
     )
-    result = synthesize_eba(model, max_states=max_states)
+    result = synthesize_eba(model, max_states=max_states, engine=engine)
     return {
         "task": "eba-synthesis",
+        "engine": engine,
         "exchange": exchange,
         "failures": failures,
         "n": num_agents,
@@ -191,8 +205,10 @@ def eba_model_check_task(
     max_faulty: int,
     failures: str = "sending",
     max_states: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Model check the literature EBA protocol against the EBA specification."""
+    validate_engine(engine)
     model = build_eba_model(
         exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
     )
@@ -204,13 +220,14 @@ def eba_model_check_task(
         raise ValueError(f"unknown EBA exchange {exchange!r}")
     horizon = model.default_horizon()
     space = build_space(model, protocol, horizon=horizon, max_states=max_states)
-    checker = ModelChecker(space)
+    checker = checker_for(space, engine)
     spec_results = {
         name: checker.holds_initially(formula)
         for name, formula in eba_spec_formulas(model, horizon).items()
     }
     return {
         "task": "eba-model-check",
+        "engine": engine,
         "exchange": exchange,
         "failures": failures,
         "n": num_agents,

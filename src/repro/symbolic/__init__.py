@@ -1,0 +1,18 @@
+"""Symbolic (BDD-based) satisfaction backend.
+
+This package is the repository's second satisfaction engine: a pure-Python
+reduced-ordered binary decision diagram (ROBDD) library (:mod:`repro.symbolic.bdd`),
+a factored boolean encoding of the levelled state space
+(:mod:`repro.symbolic.encode`), and a :class:`~repro.symbolic.checker.SymbolicChecker`
+that evaluates the :mod:`repro.logic` formula AST with relational images and
+BDD fixpoints behind the same interface as the explicit bitset
+:class:`~repro.core.checker.ModelChecker`.
+
+Engine selection for the rest of the stack lives in :mod:`repro.engines`.
+"""
+
+from repro.symbolic.bdd import BDD
+from repro.symbolic.checker import SymbolicChecker
+from repro.symbolic.encode import LevelEncoding, SpaceEncoder
+
+__all__ = ["BDD", "LevelEncoding", "SpaceEncoder", "SymbolicChecker"]

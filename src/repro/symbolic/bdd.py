@@ -1,0 +1,452 @@
+"""A pure-Python reduced-ordered binary decision diagram (ROBDD) engine.
+
+Nodes live in a single :class:`BDD` manager and are identified by integer
+handles; ``0`` and ``1`` are the terminal constants.  The manager maintains a
+*unique table* so that every (variable, low, high) triple exists at most once,
+which makes BDDs canonical: two functions are equal iff their handles are
+equal, and fixpoint convergence checks are integer comparisons.
+
+Variables are non-negative integers; smaller indices sit closer to the root.
+The encoding layer (:mod:`repro.symbolic.encode`) interleaves current-state
+and next-state variables (``2 * position`` and ``2 * position + 1``) so that
+the :meth:`BDD.rename` used to prime a set before a relational image is
+order-preserving.
+
+Operations provided:
+
+* :meth:`BDD.ite` — if-then-else, the universal connective, memoised in a
+  compute table; ``apply_and``/``apply_or``/``apply_not``/``apply_xor``/
+  ``apply_diff`` are thin wrappers over it.
+* :meth:`BDD.restrict` / :meth:`BDD.compose` — cofactor by a literal and
+  functional substitution of a variable.
+* :meth:`BDD.exists` / :meth:`BDD.forall` — quantification over a cube of
+  variables; :meth:`BDD.and_exists` fuses the conjunction with existential
+  quantification (the relational-product kernel of the checker).
+* :meth:`BDD.rename` — order-preserving variable renaming (prime/unprime).
+* :meth:`BDD.cube` — conjunction of literals from an assignment.
+* :meth:`BDD.evaluate`, :meth:`BDD.sat_count`, :meth:`BDD.sat_iter` —
+  evaluation under a full assignment, model counting and model enumeration
+  over an explicit variable list.
+
+There is no garbage collection: the spaces this repository checks allocate at
+most a few hundred thousand nodes per manager, and managers are dropped
+wholesale with the encoder that owns them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+#: Sentinel variable index for the terminal nodes: larger than any real
+#: variable, so ``min`` over node variables never selects a terminal.
+_TERMINAL_VAR = 1 << 60
+
+#: Handles of the constant functions.
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """A manager holding a forest of shared, canonical BDD nodes."""
+
+    def __init__(self) -> None:
+        # Parallel arrays indexed by node handle; entries 0 and 1 are the
+        # terminals (their low/high fields are never consulted).
+        self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self.false = FALSE
+        self.true = TRUE
+
+    # ------------------------------------------------------------- node store
+
+    def __len__(self) -> int:
+        """Total number of nodes ever allocated (terminals included)."""
+        return len(self._var)
+
+    def var_of(self, node: int) -> int:
+        """The branching variable of a node (terminals report a sentinel)."""
+        return self._var[node]
+
+    def low_of(self, node: int) -> int:
+        """The negative (variable = 0) child of a node."""
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        """The positive (variable = 1) child of a node."""
+        return self._high[node]
+
+    def node(self, variable: int, low: int, high: int) -> int:
+        """The canonical node for a triple (reduced: equal children collapse).
+
+        Children must have strictly larger variable indices; this is the
+        invariant every public operation maintains, so it is only asserted
+        here in the one place where nodes are minted.
+        """
+        if low == high:
+            return low
+        key = (variable, low, high)
+        handle = self._unique.get(key)
+        if handle is None:
+            if variable >= min(self._var[low], self._var[high]):
+                raise ValueError(
+                    f"variable {variable} is not above its children "
+                    f"({self._var[low]}, {self._var[high]})"
+                )
+            handle = len(self._var)
+            self._var.append(variable)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = handle
+        return handle
+
+    def variable(self, variable: int) -> int:
+        """The BDD of the literal ``variable``."""
+        return self.node(variable, FALSE, TRUE)
+
+    def nvariable(self, variable: int) -> int:
+        """The BDD of the literal ``not variable``."""
+        return self.node(variable, TRUE, FALSE)
+
+    def size(self, node: int) -> int:
+        """Number of distinct internal (non-terminal) nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return len(seen)
+
+    def _cofactors(self, node: int, variable: int) -> Tuple[int, int]:
+        """The (low, high) cofactors of a node with respect to ``variable``."""
+        if self._var[node] == variable:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # ----------------------------------------------------------- connectives
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f and g) or (not f and h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self.node(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def apply_not(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """Difference ``f and not g``."""
+        return self.ite(g, FALSE, f)
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``not f or g``."""
+        return self.ite(f, g, TRUE)
+
+    def big_or(self, nodes: Iterable[int]) -> int:
+        """Disjunction of many functions (balanced to keep intermediates small)."""
+        return self._reduce(list(nodes), self.apply_or, FALSE)
+
+    def big_and(self, nodes: Iterable[int]) -> int:
+        """Conjunction of many functions."""
+        return self._reduce(list(nodes), self.apply_and, TRUE)
+
+    def _reduce(self, nodes: List[int], op, unit: int) -> int:
+        if not nodes:
+            return unit
+        # Pairwise (tournament) reduction: intermediate results stay balanced,
+        # which matters when OR-ing thousands of state minterms into a
+        # reachable-set BDD.
+        while len(nodes) > 1:
+            nodes = [
+                op(nodes[i], nodes[i + 1]) if i + 1 < len(nodes) else nodes[i]
+                for i in range(0, len(nodes), 2)
+            ]
+        return nodes[0]
+
+    # -------------------------------------------------- restriction and compose
+
+    def restrict(self, f: int, variable: int, value: bool) -> int:
+        """The cofactor of ``f`` with ``variable`` fixed to ``value``."""
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if self._var[node] > variable:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            if self._var[node] == variable:
+                result = self._high[node] if value else self._low[node]
+            else:
+                result = self.node(
+                    self._var[node],
+                    walk(self._low[node]),
+                    walk(self._high[node]),
+                )
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def compose(self, f: int, variable: int, g: int) -> int:
+        """Substitute the function ``g`` for ``variable`` in ``f``."""
+        return self.ite(
+            g,
+            self.restrict(f, variable, True),
+            self.restrict(f, variable, False),
+        )
+
+    # --------------------------------------------------------- quantification
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification of ``f`` over a set of variables."""
+        return self._quantify(f, frozenset(variables), existential=True)
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal quantification of ``f`` over a set of variables."""
+        return self._quantify(f, frozenset(variables), existential=False)
+
+    def _quantify(self, f: int, cube: frozenset, existential: bool) -> int:
+        if not cube:
+            return f
+        last = max(cube)
+        combine = self.apply_or if existential else self.apply_and
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if self._var[node] > last:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if self._var[node] in cube:
+                result = combine(low, high)
+            else:
+                result = self.node(self._var[node], low, high)
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
+        """The relational product ``exists variables . (f and g)``, fused.
+
+        Never materialises the full conjunction: quantified variables are
+        eliminated on the way back up the recursion, which is the standard
+        image-computation kernel.
+        """
+        cube = frozenset(variables)
+        if not cube:
+            return self.apply_and(f, g)
+        last = max(cube)
+        memo: Dict[Tuple[int, int], int] = {}
+
+        def walk(f_node: int, g_node: int) -> int:
+            if f_node == FALSE or g_node == FALSE:
+                return FALSE
+            if self._var[f_node] > last and self._var[g_node] > last:
+                return self.apply_and(f_node, g_node)
+            key = (f_node, g_node)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            top = min(self._var[f_node], self._var[g_node])
+            f0, f1 = self._cofactors(f_node, top)
+            g0, g1 = self._cofactors(g_node, top)
+            low = walk(f0, g0)
+            if top in cube and low == TRUE:
+                # Short-circuit: or(TRUE, high) is TRUE regardless of high.
+                result = TRUE
+            else:
+                high = walk(f1, g1)
+                if top in cube:
+                    result = self.apply_or(low, high)
+                else:
+                    result = self.node(top, low, high)
+            memo[key] = result
+            return result
+
+        return walk(f, g)
+
+    # ---------------------------------------------------------------- renaming
+
+    def rename(self, f: int, mapping: Mapping[int, int]) -> int:
+        """Rename variables by an order-preserving mapping.
+
+        The mapping must be strictly monotone on the variables it touches
+        relative to the fixed global order (the interleaved current/next
+        layout guarantees this for priming); violating the order raises
+        ``ValueError`` from the node constructor.
+        """
+        if not mapping:
+            return f
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            variable = mapping.get(self._var[node], self._var[node])
+            result = self.node(
+                variable, walk(self._low[node]), walk(self._high[node])
+            )
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    # --------------------------------------------------------------- cubes etc
+
+    def cube(self, literals: Mapping[int, bool]) -> int:
+        """The conjunction of the given literals (variable -> polarity)."""
+        result = TRUE
+        for variable in sorted(literals, reverse=True):
+            if literals[variable]:
+                result = self.node(variable, FALSE, result)
+            else:
+                result = self.node(variable, result, FALSE)
+        return result
+
+    def evaluate(self, f: int, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate ``f`` under an assignment covering its support."""
+        node = f
+        while node > 1:
+            variable = self._var[node]
+            try:
+                value = assignment[variable]
+            except KeyError:
+                raise KeyError(
+                    f"assignment is missing variable {variable} in the "
+                    f"support of the evaluated BDD"
+                ) from None
+            node = self._high[node] if value else self._low[node]
+        return node == TRUE
+
+    def support(self, f: int) -> frozenset:
+        """The set of variables ``f`` actually depends on."""
+        found = set()
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            found.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(found)
+
+    def sat_count(self, f: int, variables: Iterable[int]) -> int:
+        """Number of satisfying assignments over an explicit variable list."""
+        order = sorted(set(variables))
+        position = {variable: index for index, variable in enumerate(order)}
+        for variable in self.support(f):
+            if variable not in position:
+                raise ValueError(
+                    f"variable list is missing support variable {variable}"
+                )
+        total = len(order)
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            # Count over the variables at or below this node's depth, then
+            # scale by skipped (don't-care) levels at the call sites.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            depth = position[self._var[node]]
+            count = 0
+            for child in (self._low[node], self._high[node]):
+                child_depth = (
+                    total if child <= 1 else position[self._var[child]]
+                )
+                count += walk(child) << (child_depth - depth - 1)
+            memo[node] = count
+            return count
+
+        root_depth = total if f <= 1 else position[self._var[f]]
+        return walk(f) << root_depth
+
+    def sat_iter(
+        self, f: int, variables: Iterable[int]
+    ) -> Iterator[Tuple[bool, ...]]:
+        """Yield every satisfying assignment as a tuple over ``variables``.
+
+        Variables outside the BDD's support are expanded to both polarities,
+        so the tuples enumerate complete assignments (``sat_count`` many).
+        """
+        order = sorted(set(variables))
+        values: List[Optional[bool]] = [None] * len(order)
+        index_of = {variable: index for index, variable in enumerate(order)}
+
+        def expand(position: int, limit: int, node: int) -> Iterator[Tuple[bool, ...]]:
+            if position == limit:
+                yield from descend(node)
+                return
+            for value in (False, True):
+                values[position] = value
+                yield from expand(position + 1, limit, node)
+
+        def descend(node: int) -> Iterator[Tuple[bool, ...]]:
+            if node == FALSE:
+                return
+            if node == TRUE:
+                yield tuple(values)  # type: ignore[arg-type]
+                return
+            position = index_of[self._var[node]]
+            for value, child in (
+                (False, self._low[node]),
+                (True, self._high[node]),
+            ):
+                values[position] = value
+                child_position = (
+                    len(order) if child <= 1 else index_of[self._var[child]]
+                )
+                yield from expand(position + 1, child_position, child)
+
+        root_position = len(order) if f <= 1 else index_of[self._var[f]]
+        yield from expand(0, root_position, f)

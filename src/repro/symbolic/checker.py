@@ -1,0 +1,512 @@
+"""Symbolic (BDD-backed) model checking of the knowledge-and-time logic.
+
+:class:`SymbolicChecker` evaluates the same :mod:`repro.logic` formula AST as
+the explicit bitset :class:`~repro.core.checker.ModelChecker`, over the same
+:class:`~repro.systems.space.LevelledSpace`, and exposes the same query
+interface — but every satisfaction set is a BDD over the factored state
+variables of :mod:`repro.symbolic.encode` rather than a packed bitmask.
+
+The operator semantics are those of Section 2 of the paper, computed
+relationally:
+
+* ``Knows(i, phi)`` fails at a state iff some observation-equivalent state
+  satisfies ``~phi``; the failing set is the relational image of ``~phi``
+  under the agent's observation relation, computed with a fused
+  conjunction-and-quantify (:meth:`~repro.symbolic.bdd.BDD.and_exists`).
+  Because the observation relation is factored over the agent's local-state
+  block, the image is a function of that block alone.
+* ``KnowsNonfaulty(i, phi)`` restricts the witnessing states to those where
+  ``i`` is nonfaulty (``B^N_i phi = K_i (i in N => phi)``).
+* ``EveryoneBelieves``/``CommonBelief`` iterate the belief operators to the
+  greatest fixpoint per level; BDD canonicity makes convergence checks
+  integer comparisons.
+* The bounded temporal operators are pre-images over the edge-built
+  transition relation, with the final level absorbing — exactly the clock
+  semantics the bitset engine implements.
+
+The module also hosts the symbolic twins of the specialised per-level
+synthesis evaluators (:func:`sba_level_conditions`,
+:func:`eba_decide_zero_conditions`), which
+:mod:`repro.core.synthesis` dispatches to when ``engine="symbolic"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitset import BitSat, to_level_sets
+from repro.core.checker import PackedQueryMixin
+from repro.logic.formula import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    CommonBelief,
+    EvAlways,
+    EvEventually,
+    EvNext,
+    EveryoneBelieves,
+    Eventually,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Not,
+    Nu,
+    Or,
+    Top,
+    Var,
+    check_positive,
+)
+from repro.symbolic.encode import SpaceEncoder
+from repro.systems.space import LevelledSpace
+
+#: The legacy satisfaction-set form, for interface parity with ModelChecker.
+SatSet = List[Set[int]]
+
+#: Per-level satisfaction as BDD handles, the engine's native representation.
+NodeSat = List[int]
+
+
+class SymbolicChecker(PackedQueryMixin):
+    """BDD-backed model checker with the explicit checker's interface.
+
+    The generic query layer (``holds_at``, ``counterexamples``,
+    ``satisfying_observations``) comes from
+    :class:`~repro.core.checker.PackedQueryMixin` over :meth:`check_bits`;
+    only the whole-level comparisons are overridden, because BDD canonicity
+    answers them by handle equality without unpacking to bitmasks.
+    """
+
+    def __init__(
+        self, space: LevelledSpace, encoder: Optional[SpaceEncoder] = None
+    ) -> None:
+        self.space = space
+        self.encoder = encoder if encoder is not None else SpaceEncoder(space)
+        self._node_cache: Dict[Formula, NodeSat] = {}
+        self._bit_cache: Dict[Formula, BitSat] = {}
+        self._set_cache: Dict[Formula, SatSet] = {}
+
+    # ----------------------------------------------------------------- queries
+
+    def check_nodes(self, formula: Formula) -> NodeSat:
+        """The satisfaction set of a closed formula, one BDD per level."""
+        check_positive(formula)
+        return self._eval(formula, {})
+
+    def check_bits(self, formula: Formula) -> BitSat:
+        """The satisfaction set as packed per-level bitmasks.
+
+        Identical in meaning to :meth:`ModelChecker.check_bits`; computed by
+        evaluating the per-level BDDs at every state's code word.
+        """
+        cached = self._bit_cache.get(formula)
+        if cached is None:
+            nodes = self.check_nodes(formula)
+            cached = [
+                self.encoder.to_mask(time, node) for time, node in enumerate(nodes)
+            ]
+            self._bit_cache[formula] = cached
+        return cached
+
+    def check(self, formula: Formula) -> SatSet:
+        """The satisfaction set in the legacy ``List[Set[int]]`` form."""
+        cached = self._set_cache.get(formula)
+        if cached is None:
+            cached = to_level_sets(self.check_bits(formula))
+            self._set_cache[formula] = cached
+        return cached
+
+    def holds_initially(self, formula: Formula) -> bool:
+        """Whether the formula holds at every initial (time 0) point."""
+        return self.check_nodes(formula)[0] == self.encoder.reach(0)
+
+    def holds_everywhere(self, formula: Formula) -> bool:
+        """Whether the formula holds at every reachable point."""
+        nodes = self.check_nodes(formula)
+        return all(
+            nodes[time] == self.encoder.reach(time)
+            for time in range(len(self.space.levels))
+        )
+
+    # -------------------------------------------------------------- evaluation
+
+    def _levels(self) -> int:
+        return len(self.space.levels)
+
+    def _full(self) -> NodeSat:
+        return [self.encoder.reach(time) for time in range(self._levels())]
+
+    def _empty(self) -> NodeSat:
+        return [self.encoder.bdd.false] * self._levels()
+
+    def _eval(self, formula: Formula, env: Dict[str, NodeSat]) -> NodeSat:
+        cacheable = not env
+        if cacheable and formula in self._node_cache:
+            return self._node_cache[formula]
+        result = self._eval_uncached(formula, env)
+        if cacheable:
+            self._node_cache[formula] = result
+        return result
+
+    def _eval_uncached(self, formula: Formula, env: Dict[str, NodeSat]) -> NodeSat:
+        bdd = self.encoder.bdd
+        if isinstance(formula, Top):
+            return self._full()
+        if isinstance(formula, Bottom):
+            return self._empty()
+        if isinstance(formula, Atom):
+            return [
+                bdd.apply_and(
+                    self.encoder.reach(time),
+                    self.encoder.atom_bdd(time, formula.key),
+                )
+                for time in range(self._levels())
+            ]
+        if isinstance(formula, Var):
+            if formula.name not in env:
+                raise ValueError(f"unbound fixpoint variable {formula.name!r}")
+            return list(env[formula.name])
+        if isinstance(formula, Not):
+            operand = self._eval(formula.operand, env)
+            return [
+                bdd.apply_diff(self.encoder.reach(time), operand[time])
+                for time in range(self._levels())
+            ]
+        if isinstance(formula, And):
+            result = self._full()
+            for operand in formula.operands:
+                operand_sat = self._eval(operand, env)
+                result = [
+                    bdd.apply_and(result[time], operand_sat[time])
+                    for time in range(self._levels())
+                ]
+            return result
+        if isinstance(formula, Or):
+            result = self._empty()
+            for operand in formula.operands:
+                operand_sat = self._eval(operand, env)
+                result = [
+                    bdd.apply_or(result[time], operand_sat[time])
+                    for time in range(self._levels())
+                ]
+            return result
+        if isinstance(formula, Implies):
+            antecedent = self._eval(formula.antecedent, env)
+            consequent = self._eval(formula.consequent, env)
+            return [
+                bdd.apply_or(
+                    bdd.apply_diff(self.encoder.reach(time), antecedent[time]),
+                    consequent[time],
+                )
+                for time in range(self._levels())
+            ]
+        if isinstance(formula, Iff):
+            left = self._eval(formula.left, env)
+            right = self._eval(formula.right, env)
+            return [
+                bdd.apply_diff(
+                    self.encoder.reach(time),
+                    bdd.apply_xor(left[time], right[time]),
+                )
+                for time in range(self._levels())
+            ]
+        if isinstance(formula, Knows):
+            return self._eval_knows(formula.agent, formula.operand, env, relative=False)
+        if isinstance(formula, KnowsNonfaulty):
+            return self._eval_knows(formula.agent, formula.operand, env, relative=True)
+        if isinstance(formula, EveryoneBelieves):
+            operand_sat = self._eval(formula.operand, env)
+            return [
+                everyone_believes_at(self.encoder, time, operand_sat[time])
+                for time in range(self._levels())
+            ]
+        if isinstance(formula, CommonBelief):
+            return self._eval_common_belief(formula.operand, env)
+        if isinstance(formula, Nu):
+            return self._eval_nu(formula, env)
+        if isinstance(formula, Next):
+            return self._eval_next(formula.operand, env, universal=True)
+        if isinstance(formula, EvNext):
+            return self._eval_next(formula.operand, env, universal=False)
+        if isinstance(formula, Always):
+            return self._eval_globally(formula.operand, env, universal=True)
+        if isinstance(formula, EvAlways):
+            return self._eval_globally(formula.operand, env, universal=False)
+        if isinstance(formula, Eventually):
+            return self._eval_eventually(formula.operand, env, universal=True)
+        if isinstance(formula, EvEventually):
+            return self._eval_eventually(formula.operand, env, universal=False)
+        raise TypeError(f"unsupported formula node {type(formula).__name__}")
+
+    # -- epistemic operators --------------------------------------------------
+
+    def _knows_at(self, time: int, agent: int, target: int, relative: bool) -> int:
+        """States of one level where ``K_agent`` (or ``B^N_agent``) of a BDD
+        target set holds.
+
+        The failing states are the relational image of the target's
+        complement (restricted to nonfaulty states for the relative reading)
+        under the observation relation — a function of the agent's local
+        block, conjoined back with the reachable set.
+        """
+        return knows_at(self.encoder, time, agent, target, relative)
+
+    def _eval_knows(
+        self, agent: int, operand: Formula, env: Dict[str, NodeSat], relative: bool
+    ) -> NodeSat:
+        operand_sat = self._eval(operand, env)
+        return [
+            self._knows_at(time, agent, operand_sat[time], relative)
+            for time in range(self._levels())
+        ]
+
+    def _eval_common_belief(self, operand: Formula, env: Dict[str, NodeSat]) -> NodeSat:
+        operand_sat = self._eval(operand, env)
+        # As in the explicit engine, the greatest fixpoint is per level: the
+        # belief operators only relate points of the same time.
+        return [
+            common_belief_at(self.encoder, time, operand_sat[time])
+            for time in range(self._levels())
+        ]
+
+    def _eval_nu(self, formula: Nu, env: Dict[str, NodeSat]) -> NodeSat:
+        current = self._full()
+        while True:
+            inner = dict(env)
+            inner[formula.variable] = current
+            next_nodes = self._eval(formula.operand, inner)
+            if next_nodes == current:
+                return current
+            current = next_nodes
+
+    # -- temporal operators ---------------------------------------------------
+
+    def _exist_step(self, time: int, target: int) -> int:
+        """States at ``time`` with some successor inside the BDD target set."""
+        encoder = self.encoder
+        bdd = encoder.bdd
+        successor_encoding = encoder.encoding(time + 1)
+        return bdd.and_exists(
+            encoder.transition(time),
+            bdd.rename(target, successor_encoding.prime_mapping()),
+            successor_encoding.variables(primed=True),
+        )
+
+    def _step_at(self, time: int, target: int, universal: bool) -> int:
+        """States at ``time`` whose successors (all/some) satisfy ``target``."""
+        bdd = self.encoder.bdd
+        if universal:
+            bad = bdd.apply_diff(self.encoder.reach(time + 1), target)
+            return bdd.apply_diff(
+                self.encoder.reach(time), self._exist_step(time, bad)
+            )
+        return self._exist_step(time, target)
+
+    def _eval_next(
+        self, operand: Formula, env: Dict[str, NodeSat], universal: bool
+    ) -> NodeSat:
+        operand_sat = self._eval(operand, env)
+        last = self._levels() - 1
+        result: NodeSat = [
+            self._step_at(time, operand_sat[time + 1], universal)
+            for time in range(last)
+        ]
+        # The final level is absorbing: AX phi and EX phi coincide with phi.
+        result.append(operand_sat[last])
+        return result
+
+    def _eval_globally(
+        self, operand: Formula, env: Dict[str, NodeSat], universal: bool
+    ) -> NodeSat:
+        operand_sat = self._eval(operand, env)
+        bdd = self.encoder.bdd
+        last = self._levels() - 1
+        result: NodeSat = [bdd.false] * self._levels()
+        result[last] = operand_sat[last]
+        for time in range(last - 1, -1, -1):
+            step = self._step_at(time, result[time + 1], universal)
+            result[time] = bdd.apply_and(operand_sat[time], step)
+        return result
+
+    def _eval_eventually(
+        self, operand: Formula, env: Dict[str, NodeSat], universal: bool
+    ) -> NodeSat:
+        operand_sat = self._eval(operand, env)
+        bdd = self.encoder.bdd
+        last = self._levels() - 1
+        result: NodeSat = [bdd.false] * self._levels()
+        result[last] = operand_sat[last]
+        for time in range(last - 1, -1, -1):
+            step = self._step_at(time, result[time + 1], universal)
+            result[time] = bdd.apply_or(operand_sat[time], step)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Specialised per-level synthesis evaluators (symbolic twins of the private
+# helpers in repro.core.synthesis)
+# ---------------------------------------------------------------------------
+
+
+def _local_function_mask(encoder: SpaceEncoder, level: int, agent: int, node: int) -> int:
+    """Convert a BDD over one agent's local block to a packed state bitmask.
+
+    The node must be a function of the agent's (unprimed) local-block
+    variables only — which is exactly what the knowledge images above
+    produce.  Each distinct local state is evaluated once, then the verdict
+    is broadcast to every state carrying that local component.
+    """
+    bdd = encoder.bdd
+    encoding = encoder.encoding(level)
+    verdicts = [
+        bdd.evaluate(
+            node,
+            encoding._block_literals(
+                encoding.local_bases[agent],
+                encoding.local_widths[agent],
+                local_id,
+                False,
+            ),
+        )
+        for local_id in range(len(encoding.local_ids[agent]))
+    ]
+    bits = 0
+    for index, code in enumerate(encoder.codes(level)):
+        if verdicts[code[agent + 1]]:
+            bits |= 1 << index
+    return bits
+
+
+def _failure_image(
+    encoder: SpaceEncoder, level: int, agent: int, witnesses: int
+) -> int:
+    """The local-block BDD of states with an observation-equivalent witness."""
+    bdd = encoder.bdd
+    encoding = encoder.encoding(level)
+    return bdd.and_exists(
+        encoder.observation_relation(level, agent),
+        bdd.rename(witnesses, encoding.prime_mapping()),
+        encoding.variables(primed=True),
+    )
+
+
+def _knows_failure_image(
+    encoder: SpaceEncoder, level: int, agent: int, target: int, relative: bool
+) -> int:
+    """States (as a local-block BDD) where ``K``/``B^N`` of ``target`` fails.
+
+    The witnessing states are the target's complement within the reachable
+    set, restricted to the agent's nonfaulty states for the relative
+    (belief) reading; the image under the observation relation is a
+    function of the agent's local block.
+    """
+    bdd = encoder.bdd
+    witnesses = bdd.apply_diff(encoder.reach(level), target)
+    if relative:
+        witnesses = bdd.apply_and(encoder.nonfaulty_bdd(level, agent), witnesses)
+    return _failure_image(encoder, level, agent, witnesses)
+
+
+def knows_at(
+    encoder: SpaceEncoder, level: int, agent: int, target: int, relative: bool
+) -> int:
+    """One level's ``K_agent`` (or ``B^N_agent``) of a BDD target set."""
+    bdd = encoder.bdd
+    return bdd.apply_diff(
+        encoder.reach(level),
+        _knows_failure_image(encoder, level, agent, target, relative),
+    )
+
+
+def everyone_believes_at(encoder: SpaceEncoder, level: int, target: int) -> int:
+    """``EB_N`` applied to one level's BDD target set.
+
+    A point satisfies ``EB_N`` iff every agent that is nonfaulty at that
+    point believes the target — the same accumulation the bitset engine
+    runs on masks.  Shared by the checker's operator evaluation and the
+    synthesis evaluators, so the belief semantics cannot drift.
+    """
+    bdd = encoder.bdd
+    result = encoder.reach(level)
+    for agent in range(encoder.space.model.num_agents):
+        believes = knows_at(encoder, level, agent, target, relative=True)
+        faulty = bdd.apply_diff(result, encoder.nonfaulty_bdd(level, agent))
+        result = bdd.apply_and(result, bdd.apply_or(believes, faulty))
+        if result == bdd.false:
+            break
+    return result
+
+
+def common_belief_at(encoder: SpaceEncoder, level: int, operand: int) -> int:
+    """``CB_N`` of one level's BDD operand set: the greatest fixpoint
+    ``nu X . EB_N (operand and X)``, iterated to canonical-handle equality."""
+    bdd = encoder.bdd
+    current = encoder.reach(level)
+    while True:
+        next_node = everyone_believes_at(
+            encoder, level, bdd.apply_and(operand, current)
+        )
+        if next_node == current:
+            return current
+        current = next_node
+
+
+def sba_level_conditions(
+    encoder: SpaceEncoder, level: int
+) -> Dict[Tuple[int, int], int]:
+    """Satisfaction of ``B^N_i CB_N ∃v`` per (agent, value) at one level.
+
+    The symbolic twin of
+    :func:`repro.core.synthesis._level_knowledge_conditions`: the same
+    per-level greatest fixpoint, computed on the shared EB/CB helpers,
+    returned as the packed bitmasks the synthesis loop consumes.
+    """
+    space = encoder.space
+    model = space.model
+    bdd = encoder.bdd
+    reach = encoder.reach(level)
+
+    conditions: Dict[Tuple[int, int], int] = {}
+    for value in model.values():
+        exists_value = bdd.apply_and(
+            reach, encoder.atom_bdd(level, ("exists", value))
+        )
+        common_belief = common_belief_at(encoder, level, exists_value)
+        for agent in model.agents():
+            failure = _knows_failure_image(
+                encoder, level, agent, common_belief, relative=True
+            )
+            conditions[(agent, value)] = _local_function_mask(
+                encoder, level, agent, bdd.apply_not(failure)
+            )
+    return conditions
+
+
+def eba_decide_zero_conditions(encoder: SpaceEncoder, level: int) -> Dict[int, int]:
+    """Satisfaction of ``init_i = 0 \\/ K_i(some agent has decided 0)`` per agent.
+
+    The symbolic twin of
+    :func:`repro.core.synthesis._decide_zero_conditions_at_level`.
+    """
+    space = encoder.space
+    model = space.model
+    bdd = encoder.bdd
+    reach = encoder.reach(level)
+    some_decided_zero = bdd.apply_and(
+        reach, encoder.atom_bdd(level, ("some_decided", 0))
+    )
+    conditions: Dict[int, int] = {}
+    for agent in model.agents():
+        knows = bdd.apply_not(
+            _knows_failure_image(
+                encoder, level, agent, some_decided_zero, relative=False
+            )
+        )
+        init_zero = encoder.atom_bdd(level, ("init", agent, 0))
+        conditions[agent] = _local_function_mask(
+            encoder, level, agent, bdd.apply_or(knows, init_zero)
+        )
+    return conditions

@@ -1,0 +1,378 @@
+"""Factored boolean encoding of a levelled state space.
+
+A global state is a pair of an environment state (owned by the failure
+model) and one local state per agent (owned by the exchange), so each level
+of a :class:`~repro.systems.space.LevelledSpace` is encoded with one block
+of boolean variables per *component*: the distinct environment states seen
+at the level get a binary-coded ``env`` block, and each agent's distinct
+local states get a binary-coded block of their own.  A state's code word is
+the concatenation of its component ids, which makes the encoding *factored*:
+anything that is a function of one component — an agent's observation, its
+initial value, the failure status — is a BDD over that component's block
+only, with size governed by the number of distinct component values rather
+than the number of global states.
+
+This factoring is what the epistemic operators exploit.  The clock-semantics
+indistinguishability relation of agent ``i`` ("same observation") is a
+relation over agent ``i``'s block alone: two states are related iff their
+local components map to the same observation, so the relation BDD is built
+from the level's distinct local states — never from the (exponentially
+larger) set of global states.
+
+Every variable position ``p`` owns an interleaved pair of BDD variables:
+``2p`` for the current state and ``2p + 1`` for the next/primed copy, so
+priming a set before a relational image is the order-preserving renaming
+``2p -> 2p + 1``.
+
+The :class:`SpaceEncoder` caches per level: the encoding, the reachable-set
+BDD, the observation relations, atom BDDs, and the (edge-built) transition
+relation to the next level.  Levels of a space are append-only, so cached
+objects never go stale — the same contract the explicit engine's bitmask
+caches rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.symbolic.bdd import BDD
+from repro.systems.space import LevelledSpace
+
+
+def _width(count: int) -> int:
+    """Bits needed to distinguish ``count`` values (at least one bit)."""
+    return max(1, (count - 1).bit_length())
+
+
+class LevelEncoding:
+    """The variable layout and component id maps for one level of a space."""
+
+    def __init__(self, space: LevelledSpace, level: int) -> None:
+        self.level = level
+        states = space.levels[level]
+        model = space.model
+        self.num_agents = model.num_agents
+
+        env_ids: Dict[Hashable, int] = {}
+        local_ids: List[Dict[Tuple, int]] = [{} for _ in range(self.num_agents)]
+        codes: List[Tuple[int, ...]] = []
+        for state in states:
+            code = [env_ids.setdefault(state.env, len(env_ids))]
+            for agent in range(self.num_agents):
+                ids = local_ids[agent]
+                code.append(ids.setdefault(state.locals[agent], len(ids)))
+            codes.append(tuple(code))
+        #: Distinct environment states at the level, id-indexed.
+        self.env_ids = env_ids
+        #: Per agent, the distinct local states at the level, id-indexed.
+        self.local_ids = local_ids
+        #: The component-id code word of every state, state-indexed —
+        #: computed in the same pass that assigns the component ids.
+        self.codes = codes
+
+        # Variable positions: the env block first, then one block per agent.
+        self.env_width = _width(len(env_ids))
+        self.local_widths = [_width(len(ids)) for ids in local_ids]
+        self.env_base = 0
+        self.local_bases: List[int] = []
+        base = self.env_width
+        for width in self.local_widths:
+            self.local_bases.append(base)
+            base += width
+        #: Total number of variable positions (current/primed pairs).
+        self.num_positions = base
+
+        #: index of each state within the level, keyed by its code word
+        #: (env id plus per-agent local ids) — the inverse of the encoding.
+        self.state_of_code: Dict[Tuple[int, ...], int] = {
+            code: index for index, code in enumerate(codes)
+        }
+
+    # ----------------------------------------------------------- variable maps
+
+    @staticmethod
+    def var(position: int, primed: bool = False) -> int:
+        """The BDD variable for a position (interleaved current/primed pair)."""
+        return 2 * position + (1 if primed else 0)
+
+    def variables(self, primed: bool = False) -> List[int]:
+        """All BDD variables of the level (current or primed copy)."""
+        return [self.var(position, primed) for position in range(self.num_positions)]
+
+    def _block_literals(
+        self, base: int, width: int, value: int, primed: bool
+    ) -> Dict[int, bool]:
+        return {
+            self.var(base + bit, primed): bool((value >> bit) & 1)
+            for bit in range(width)
+        }
+
+    def env_cube(self, bdd: BDD, env_id: int, primed: bool = False) -> int:
+        """The minterm of an environment id over the env block."""
+        return bdd.cube(self._block_literals(self.env_base, self.env_width, env_id, primed))
+
+    def local_cube(self, bdd: BDD, agent: int, local_id: int, primed: bool = False) -> int:
+        """The minterm of a local-state id over the agent's block."""
+        return bdd.cube(
+            self._block_literals(
+                self.local_bases[agent], self.local_widths[agent], local_id, primed
+            )
+        )
+
+    def assignment_of_code(
+        self, code: Tuple[int, ...], primed: bool = False
+    ) -> Dict[int, bool]:
+        """The full variable assignment of a state code word."""
+        assignment = self._block_literals(self.env_base, self.env_width, code[0], primed)
+        for agent in range(self.num_agents):
+            assignment.update(
+                self._block_literals(
+                    self.local_bases[agent],
+                    self.local_widths[agent],
+                    code[agent + 1],
+                    primed,
+                )
+            )
+        return assignment
+
+    def prime_mapping(self) -> Dict[int, int]:
+        """The order-preserving renaming from current to primed variables."""
+        return {
+            self.var(position): self.var(position, primed=True)
+            for position in range(self.num_positions)
+        }
+
+
+class SpaceEncoder:
+    """Shared BDD manager plus per-level caches for one levelled space.
+
+    One encoder serves every symbolic query over a space (the checker, the
+    synthesis loop, the implementation verifier), so relation and atom BDDs
+    are built once per level no matter how many formulas are evaluated.
+    """
+
+    def __init__(self, space: LevelledSpace, bdd: Optional[BDD] = None) -> None:
+        self.space = space
+        self.bdd = bdd if bdd is not None else BDD()
+        self._encodings: Dict[int, LevelEncoding] = {}
+        self._reach: Dict[int, int] = {}
+        self._obs_rel: Dict[Tuple[int, int], int] = {}
+        self._nonfaulty: Dict[Tuple[int, int], int] = {}
+        self._atoms: Dict[Tuple[int, Hashable], int] = {}
+        self._transitions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- per level
+
+    def encoding(self, level: int) -> LevelEncoding:
+        """The (cached) variable layout of a level."""
+        cached = self._encodings.get(level)
+        if cached is None:
+            cached = LevelEncoding(self.space, level)
+            self._encodings[level] = cached
+        return cached
+
+    def codes(self, level: int) -> List[Tuple[int, ...]]:
+        """The code word of every state of the level, state-indexed."""
+        return self.encoding(level).codes
+
+    def state_cube(self, level: int, index: int, primed: bool = False) -> int:
+        """The minterm BDD of one state of the level."""
+        encoding = self.encoding(level)
+        return self.bdd.cube(
+            encoding.assignment_of_code(self.codes(level)[index], primed)
+        )
+
+    def reach(self, level: int) -> int:
+        """The BDD of the set of reachable states at the level."""
+        cached = self._reach.get(level)
+        if cached is None:
+            cached = self.bdd.big_or(
+                self.state_cube(level, index)
+                for index in range(len(self.space.levels[level]))
+            )
+            self._reach[level] = cached
+        return cached
+
+    # -------------------------------------------------------------- relations
+
+    def observation_relation(self, level: int, agent: int) -> int:
+        """Indistinguishability of ``agent`` at the level: same observation.
+
+        A relation over the agent's current and primed local blocks only —
+        built from the level's distinct local states, grouped by the
+        observation they induce.
+        """
+        key = (level, agent)
+        cached = self._obs_rel.get(key)
+        if cached is None:
+            encoding = self.encoding(level)
+            model = self.space.model
+            groups: Dict[Tuple, List[int]] = {}
+            for local, local_id in encoding.local_ids[agent].items():
+                observation = model.exchange.observation(agent, local)
+                groups.setdefault(observation, []).append(local_id)
+            bdd = self.bdd
+            cached = bdd.big_or(
+                bdd.apply_and(
+                    bdd.big_or(
+                        encoding.local_cube(bdd, agent, local_id)
+                        for local_id in members
+                    ),
+                    bdd.big_or(
+                        encoding.local_cube(bdd, agent, local_id, primed=True)
+                        for local_id in members
+                    ),
+                )
+                for members in groups.values()
+            )
+            self._obs_rel[key] = cached
+        return cached
+
+    def nonfaulty_bdd(self, level: int, agent: int) -> int:
+        """The states of the level where ``agent`` is nonfaulty (an env function)."""
+        key = (level, agent)
+        cached = self._nonfaulty.get(key)
+        if cached is None:
+            encoding = self.encoding(level)
+            failures = self.space.model.failures
+            cached = self.bdd.big_or(
+                encoding.env_cube(self.bdd, env_id)
+                for env, env_id in encoding.env_ids.items()
+                if failures.nonfaulty(env, agent)
+            )
+            self._nonfaulty[key] = cached
+        return cached
+
+    def transition(self, level: int) -> int:
+        """The transition relation from the level to its successor level.
+
+        Built from the explicitly recorded successor edges: current-state
+        variables carry the level's encoding, primed variables carry the
+        successor level's.  Only valid for levels whose edges exist.
+        """
+        cached = self._transitions.get(level)
+        if cached is None:
+            bdd = self.bdd
+            successors = self.space.successors[level]
+            target_cubes = [
+                self.state_cube(level + 1, target, primed=True)
+                for target in range(len(self.space.levels[level + 1]))
+            ]
+            cached = bdd.big_or(
+                bdd.apply_and(
+                    self.state_cube(level, index),
+                    bdd.big_or(target_cubes[target] for target in targets),
+                )
+                for index, targets in enumerate(successors)
+            )
+            self._transitions[level] = cached
+        return cached
+
+    # ------------------------------------------------------------------ atoms
+
+    def atom_bdd(self, level: int, key: Hashable) -> int:
+        """The BDD of one atomic proposition at the level.
+
+        Structured keys are dispatched to factored constructions (a function
+        of one component becomes a BDD over that component's block); unknown
+        keys fall back to an explicit per-state disjunction through the
+        model's general interpreter, mirroring
+        :meth:`~repro.systems.space.LevelledSpace.atom_mask`.
+        """
+        cache_key = (level, key)
+        cached = self._atoms.get(cache_key)
+        if cached is None:
+            cached = self._compute_atom(level, key)
+            self._atoms[cache_key] = cached
+        return cached
+
+    def _local_predicate(self, level: int, agent: int, predicate) -> int:
+        """The BDD of a predicate of one agent's local state."""
+        encoding = self.encoding(level)
+        return self.bdd.big_or(
+            encoding.local_cube(self.bdd, agent, local_id)
+            for local, local_id in encoding.local_ids[agent].items()
+            if predicate(local)
+        )
+
+    def _compute_atom(self, level: int, key: Hashable) -> int:
+        bdd = self.bdd
+        model = self.space.model
+        kind = key[0] if isinstance(key, tuple) and key else key
+        if kind == "init":
+            _, agent, value = key
+            return self._local_predicate(level, agent, lambda local: local.init == value)
+        if kind == "exists":
+            _, value = key
+            return bdd.big_or(
+                self._local_predicate(level, agent, lambda local: local.init == value)
+                for agent in model.agents()
+            )
+        if kind == "decided":
+            _, agent = key
+            return self._local_predicate(level, agent, lambda local: bool(local.decided))
+        if kind == "decision":
+            _, agent, value = key
+            return self._local_predicate(
+                level,
+                agent,
+                lambda local: bool(local.decided) and local.decision == value,
+            )
+        if kind == "some_decided":
+            _, value = key
+            return bdd.big_or(
+                self._local_predicate(
+                    level,
+                    agent,
+                    lambda local: bool(local.decided) and local.decision == value,
+                )
+                for agent in model.agents()
+            )
+        if kind == "nonfaulty":
+            _, agent = key
+            return self.nonfaulty_bdd(level, agent)
+        if kind == "time":
+            _, when = key
+            return self.reach(level) if level == when else self.bdd.false
+        if kind == "obs":
+            _, agent, feature, value = key
+            def predicate(local, agent=agent, feature=feature, value=value):
+                features = model.exchange.observation_features(agent, local)
+                if feature not in features:
+                    raise KeyError(
+                        f"unknown observable feature {feature!r} for exchange "
+                        f"{model.exchange.name!r}"
+                    )
+                return features[feature] == value
+            return self._local_predicate(level, agent, predicate)
+        # decides_now and anything unknown: a per-state disjunction through
+        # the model's general interpreter (actions are per state, not per
+        # component, so decides_now has no factored form in general).
+        return bdd.big_or(
+            self.state_cube(level, index)
+            for index in range(len(self.space.levels[level]))
+            if self.space.eval_atom((level, index), key)
+        )
+
+    # ------------------------------------------------------------ conversions
+
+    def to_mask(self, level: int, node: int) -> int:
+        """Convert a level BDD to the explicit engine's packed bitmask."""
+        bdd = self.bdd
+        encoding = self.encoding(level)
+        bits = 0
+        for index, code in enumerate(self.codes(level)):
+            if bdd.evaluate(node, encoding.assignment_of_code(code)):
+                bits |= 1 << index
+        return bits
+
+    def from_mask(self, level: int, mask: int) -> int:
+        """Convert a packed bitmask to a level BDD (reachable states only)."""
+        cubes = []
+        index = 0
+        while mask:
+            if mask & 1:
+                cubes.append(self.state_cube(level, index))
+            mask >>= 1
+            index += 1
+        return self.bdd.big_or(cubes)

@@ -76,6 +76,26 @@ class TestDworkMosesBehaviour:
         assert run.decision_time(0) == 2
         assert run.decision_value(0) == 1  # the 0s crashed before reporting
 
+    def test_reported_failures_count_towards_the_previous_round(self):
+        # Regression (found by the random-run property test): agents 0 and 3
+        # crash in round 1 with asymmetric delivery, so agent 1 witnesses
+        # both crashes directly (d_1 = 2, waste 1, decide at t + 1 - 1 = 2)
+        # while agent 2 only hears about them through agent 1's NF broadcast
+        # in round 2.  The reported set was newly known to the *sender* in
+        # round 1, so it must count towards d_1 for the receiver too —
+        # otherwise agent 2 computes waste 0 and decides a round after
+        # agent 1, violating simultaneity.
+        model = build_sba_model("dwork-moses", num_agents=4, max_faulty=2)
+        protocol = DworkMosesProtocol(4, 2)
+        adversary = CrashAdversary(
+            crashes={3: (1, frozenset({2})), 0: (1, frozenset({2, 3}))}
+        )
+        run = simulate_run(model, protocol, (1, 1, 1, 1), adversary)
+        report = check_sba_run(run, model, model.default_horizon())
+        assert report.ok, [v.detail for v in report.violations]
+        assert run.decision_time(1) == 2
+        assert run.decision_time(2) == 2
+
     def test_relative_optimality_is_reported(self):
         # With respect to its own exchange the waste rule may leave room for
         # earlier decisions (the exchange's failure sets carry more information

@@ -1,0 +1,323 @@
+"""Symbolic BDD engine vs the bitset engine (and the set-based oracle).
+
+The :class:`~repro.symbolic.checker.SymbolicChecker` must agree with the
+explicit :class:`~repro.core.checker.ModelChecker` — and transitively with
+the set-based reference oracle, whose agreement with the bitset engine is
+pinned by ``test_bitset_equivalence.py`` — on every operator of the logic.
+These property tests drive all three engines over seeded-random formulas on
+a grid of small SBA spaces plus the paper's EBA exchanges (E_min and
+E_basic) under crash and sending-omission failures, and additionally check
+
+* the specialised per-level synthesis evaluators (the symbolic twins of the
+  private helpers in :mod:`repro.core.synthesis`) bitmask-for-bitmask,
+* end-to-end synthesis (rule tables and condition predicates) under
+  ``engine="bitset"``, ``"symbolic"`` and ``"set"``,
+* the KBP implementation verifier across engines, and
+* the query helpers (``holds_*``, ``counterexamples``,
+  ``satisfying_observations``) the rest of the stack consumes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.checker import ModelChecker
+from repro.core.reference import SetChecker
+from repro.core.synthesis import (
+    _decide_zero_conditions_at_level,
+    _level_knowledge_conditions,
+    synthesize_eba,
+    synthesize_sba,
+)
+from repro.factory import build_eba_model, build_sba_model
+from repro.kbp.implementation import verify_eba_implementation, verify_sba_implementation
+from repro.logic.atoms import (
+    decided,
+    decides_now,
+    exists_value,
+    init_is,
+    nonfaulty,
+    some_decided_value,
+    time_is,
+)
+from repro.logic.builders import big_or, common_belief_exists, neg
+from repro.logic.formula import (
+    Always,
+    And,
+    Bottom,
+    CommonBelief,
+    EvAlways,
+    EvEventually,
+    EvNext,
+    EveryoneBelieves,
+    Eventually,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    KnowsNonfaulty,
+    Next,
+    Not,
+    Nu,
+    Or,
+    PositivityError,
+    Top,
+    Var,
+    check_positive,
+)
+from repro.protocols.eba import EBasicProtocol, EMinProtocol
+from repro.protocols.sba import FloodSetStandardProtocol
+from repro.symbolic.checker import (
+    SymbolicChecker,
+    eba_decide_zero_conditions,
+    sba_level_conditions,
+)
+from repro.symbolic.encode import SpaceEncoder
+from repro.systems.space import build_space
+
+
+def _random_atom(rng: random.Random, num_agents: int) -> Formula:
+    agent = rng.randrange(num_agents)
+    value = rng.randrange(2)
+    choices = [
+        lambda: init_is(agent, value),
+        lambda: exists_value(value),
+        lambda: decided(agent),
+        lambda: some_decided_value(value),
+        lambda: decides_now(agent, value),
+        lambda: nonfaulty(agent),
+        lambda: time_is(rng.randrange(4)),
+        lambda: Top(),
+        lambda: Bottom(),
+    ]
+    return rng.choice(choices)()
+
+
+def _random_formula(rng: random.Random, num_agents: int, depth: int) -> Formula:
+    """A random closed formula covering every operator of the logic."""
+    if depth <= 0:
+        return _random_atom(rng, num_agents)
+
+    def sub() -> Formula:
+        return _random_formula(rng, num_agents, depth - 1)
+
+    agent = rng.randrange(num_agents)
+    variable = f"X{depth}"
+    constructors = [
+        lambda: Not(sub()),
+        lambda: And((sub(), sub())),
+        lambda: Or((sub(), sub())),
+        lambda: Implies(sub(), sub()),
+        lambda: Iff(sub(), sub()),
+        lambda: Knows(agent, sub()),
+        lambda: KnowsNonfaulty(agent, sub()),
+        lambda: EveryoneBelieves(sub()),
+        lambda: CommonBelief(sub()),
+        lambda: Nu(variable, EveryoneBelieves(And((sub(), Var(variable))))),
+        lambda: Next(sub()),
+        lambda: EvNext(sub()),
+        lambda: Always(sub()),
+        lambda: EvAlways(sub()),
+        lambda: Eventually(sub()),
+        lambda: EvEventually(sub()),
+    ]
+    return rng.choice(constructors)()
+
+
+#: (kind, exchange, n, t, failures, with_protocol)
+SPACE_GRID = [
+    ("sba", "floodset", 2, 1, "crash", True),
+    ("sba", "floodset", 3, 1, "crash", True),
+    ("sba", "floodset", 2, 2, "sending", False),
+    ("sba", "count", 3, 1, "crash", False),
+    ("eba", "emin", 2, 1, "sending", True),
+    ("eba", "emin", 3, 1, "sending", True),
+    ("eba", "ebasic", 2, 1, "sending", True),
+    ("eba", "ebasic", 2, 2, "crash", True),
+]
+
+
+def _build(param):
+    kind, exchange, num_agents, max_faulty, failures, with_protocol = param
+    if kind == "sba":
+        model = build_sba_model(
+            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        )
+        rule = FloodSetStandardProtocol(num_agents, max_faulty) if with_protocol else None
+    else:
+        model = build_eba_model(
+            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        )
+        protocol_type = EMinProtocol if exchange == "emin" else EBasicProtocol
+        rule = protocol_type(num_agents, max_faulty) if with_protocol else None
+    return build_space(model, rule)
+
+
+@pytest.fixture(
+    scope="module",
+    params=SPACE_GRID,
+    ids=lambda p: f"{p[1]}-n{p[2]}t{p[3]}-{p[4]}",
+)
+def space(request):
+    return _build(request.param)
+
+
+def test_random_formulas_agree(space):
+    """Symbolic, bitset and set engines agree on seeded-random formulas."""
+    num_agents = space.model.num_agents
+    rng = random.Random(f"symbolic-{num_agents}-{space.horizon}-{space.num_states()}")
+    symbolic = SymbolicChecker(space)
+    bitset = ModelChecker(space)
+    oracle = SetChecker(space)
+    checked = 0
+    for _ in range(25):
+        formula = _random_formula(rng, num_agents, depth=rng.randrange(1, 4))
+        try:
+            check_positive(formula)
+        except PositivityError:
+            continue
+        expected = bitset.check_bits(formula)
+        assert symbolic.check_bits(formula) == expected, str(formula)
+        if checked % 5 == 0:
+            # The transitive leg: spot-check the set oracle as well.
+            assert symbolic.check(formula) == oracle.check(formula), str(formula)
+        checked += 1
+    assert checked >= 15
+
+
+def test_paper_formulas_agree(space):
+    """The formulas synthesis and verification actually pose agree exactly."""
+    model = space.model
+    symbolic = SymbolicChecker(space)
+    bitset = ModelChecker(space)
+    someone_decides_zero = big_or(decides_now(agent, 0) for agent in model.agents())
+    formulas = [
+        common_belief_exists(agent, value)
+        for agent in model.agents()
+        for value in model.values()
+    ]
+    formulas += [
+        Knows(agent, neg(EvEventually(someone_decides_zero)))
+        for agent in model.agents()
+    ]
+    formulas.append(CommonBelief(exists_value(0)))
+    formulas.append(Always(Implies(decided(0), Always(decided(0)))))
+    for formula in formulas:
+        assert symbolic.check_bits(formula) == bitset.check_bits(formula), str(formula)
+        assert symbolic.holds_initially(formula) == bitset.holds_initially(formula)
+        assert symbolic.holds_everywhere(formula) == bitset.holds_everywhere(formula)
+
+
+def test_query_helpers_agree(space):
+    """holds_at, counterexamples and satisfying_observations agree."""
+    symbolic = SymbolicChecker(space)
+    bitset = ModelChecker(space)
+    formulas = [
+        Eventually(Or((decided(0), Not(nonfaulty(0))))),
+        Knows(0, exists_value(1)),
+        KnowsNonfaulty(1, CommonBelief(exists_value(0))),
+    ]
+    for formula in formulas:
+        assert symbolic.counterexamples(formula) == bitset.counterexamples(formula)
+        assert symbolic.counterexamples(formula, limit=3) == bitset.counterexamples(
+            formula, limit=3
+        )
+        for point in [(0, 0), (space.horizon, 0)]:
+            assert symbolic.holds_at(formula, point) == bitset.holds_at(formula, point)
+        for time in range(len(space.levels)):
+            for agent in space.model.agents():
+                assert symbolic.satisfying_observations(
+                    formula, time, agent
+                ) == bitset.satisfying_observations(formula, time, agent)
+
+
+def test_level_condition_twins_agree(space):
+    """The symbolic per-level synthesis evaluators match the bitset helpers."""
+    encoder = SpaceEncoder(space)
+    for level in range(len(space.levels)):
+        assert sba_level_conditions(encoder, level) == _level_knowledge_conditions(
+            space, level
+        ), level
+        assert eba_decide_zero_conditions(
+            encoder, level
+        ) == _decide_zero_conditions_at_level(space, level), level
+
+
+# ---------------------------------------------------------------------------
+# End-to-end engine equivalence: synthesis and KBP verification
+# ---------------------------------------------------------------------------
+
+SBA_SYNTH_GRID = [
+    ("floodset", 2, 1, "crash"),
+    ("floodset", 2, 2, "sending"),
+    ("count", 3, 1, "crash"),
+]
+
+EBA_SYNTH_GRID = [
+    ("emin", 2, 1, "sending"),
+    ("emin", 3, 1, "crash"),
+    ("ebasic", 2, 1, "sending"),
+]
+
+
+@pytest.mark.parametrize("exchange,n,t,failures", SBA_SYNTH_GRID)
+def test_sba_synthesis_engine_equivalence(exchange, n, t, failures):
+    model = build_sba_model(exchange, num_agents=n, max_faulty=t, failures=failures)
+    results = {
+        engine: synthesize_sba(model, engine=engine)
+        for engine in ("bitset", "symbolic", "set")
+    }
+    reference = results["bitset"]
+    for engine, result in results.items():
+        assert result.rule.table == reference.rule.table, engine
+        assert result.space.num_states() == reference.space.num_states(), engine
+        for (agent, time, label), predicate in result.conditions.conditions.items():
+            assert (
+                predicate.positive
+                == reference.conditions.get(agent, time, label).positive
+            ), (engine, agent, time, label)
+
+
+@pytest.mark.parametrize("exchange,n,t,failures", EBA_SYNTH_GRID)
+def test_eba_synthesis_engine_equivalence(exchange, n, t, failures):
+    model = build_eba_model(exchange, num_agents=n, max_faulty=t, failures=failures)
+    results = {
+        engine: synthesize_eba(model, engine=engine)
+        for engine in ("bitset", "symbolic", "set")
+    }
+    reference = results["bitset"]
+    for engine, result in results.items():
+        assert result.rule.table == reference.rule.table, engine
+        assert result.iterations == reference.iterations, engine
+        assert result.converged and reference.converged, engine
+
+
+def test_kbp_verification_engine_equivalence():
+    model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+    protocol = FloodSetStandardProtocol(3, 1)
+    space = build_space(model, protocol)
+    reports = {
+        engine: verify_sba_implementation(model, protocol, space=space, engine=engine)
+        for engine in ("bitset", "symbolic", "set")
+    }
+    reference = reports["bitset"]
+    for engine, report in reports.items():
+        assert report.ok == reference.ok, engine
+        assert report.mismatches == reference.mismatches, engine
+        assert report.points_checked == reference.points_checked, engine
+
+    eba_model = build_eba_model("emin", num_agents=2, max_faulty=1)
+    eba_protocol = EMinProtocol(2, 1)
+    eba_space = build_space(eba_model, eba_protocol)
+    eba_reports = {
+        engine: verify_eba_implementation(
+            eba_model, eba_protocol, space=eba_space, engine=engine
+        )
+        for engine in ("bitset", "symbolic", "set")
+    }
+    eba_reference = eba_reports["bitset"]
+    for engine, report in eba_reports.items():
+        assert report.mismatches == eba_reference.mismatches, engine
+        assert report.points_checked == eba_reference.points_checked, engine

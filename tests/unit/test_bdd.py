@@ -1,0 +1,214 @@
+"""The ROBDD engine against brute-force truth-table evaluation.
+
+Every operation of :class:`repro.symbolic.bdd.BDD` is checked against an
+exhaustive enumeration over a small variable universe: random formulas are
+built bottom-up, their truth tables computed by evaluation, and the
+connectives, quantifiers, substitution, renaming and model
+counting/enumeration are compared case by case.  Canonicity (equal
+functions share a handle) is asserted throughout, since the symbolic
+checker's fixpoints terminate by handle equality.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.symbolic.bdd import BDD
+
+NVARS = 5
+VARS = list(range(NVARS))
+ASSIGNMENTS = [
+    dict(zip(VARS, bits))
+    for bits in itertools.product([False, True], repeat=NVARS)
+]
+
+
+def evaluate(bdd: BDD, node: int, assignment) -> bool:
+    return bdd.evaluate(node, assignment)
+
+
+def random_node(bdd: BDD, rng: random.Random, depth: int) -> int:
+    if depth == 0:
+        return rng.choice(
+            [bdd.true, bdd.false]
+            + [bdd.variable(v) for v in VARS]
+            + [bdd.nvariable(v) for v in VARS]
+        )
+    a = random_node(bdd, rng, depth - 1)
+    b = random_node(bdd, rng, depth - 1)
+    op = rng.randrange(5)
+    if op == 0:
+        return bdd.apply_and(a, b)
+    if op == 1:
+        return bdd.apply_or(a, b)
+    if op == 2:
+        return bdd.apply_xor(a, b)
+    if op == 3:
+        return bdd.apply_not(a)
+    return bdd.ite(a, b, random_node(bdd, rng, depth - 1))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    bdd = BDD()
+    rng = random.Random("bdd-unit")
+    nodes = [random_node(bdd, rng, rng.randrange(1, 5)) for _ in range(60)]
+    tables = [
+        tuple(evaluate(bdd, node, assignment) for assignment in ASSIGNMENTS)
+        for node in nodes
+    ]
+    return bdd, rng, nodes, tables
+
+
+def test_canonicity(engine):
+    """Structurally different builds of the same function share a handle."""
+    bdd, _, nodes, tables = engine
+    by_table = {}
+    for node, table in zip(nodes, tables):
+        if table in by_table:
+            assert by_table[table] == node
+        by_table[table] = node
+    x, y = bdd.variable(0), bdd.variable(1)
+    lhs = bdd.apply_not(bdd.apply_and(x, y))
+    rhs = bdd.apply_or(bdd.apply_not(x), bdd.apply_not(y))
+    assert lhs == rhs  # De Morgan, canonically
+
+
+def test_connectives(engine):
+    bdd, _, nodes, tables = engine
+    for (f, tf), (g, tg) in zip(
+        zip(nodes, tables), zip(nodes[1:], tables[1:])
+    ):
+        for index, assignment in enumerate(ASSIGNMENTS):
+            assert evaluate(bdd, bdd.apply_and(f, g), assignment) == (
+                tf[index] and tg[index]
+            )
+            assert evaluate(bdd, bdd.apply_or(f, g), assignment) == (
+                tf[index] or tg[index]
+            )
+            assert evaluate(bdd, bdd.apply_xor(f, g), assignment) == (
+                tf[index] != tg[index]
+            )
+            assert evaluate(bdd, bdd.apply_diff(f, g), assignment) == (
+                tf[index] and not tg[index]
+            )
+            assert evaluate(bdd, bdd.apply_implies(f, g), assignment) == (
+                (not tf[index]) or tg[index]
+            )
+            assert evaluate(bdd, bdd.apply_not(f), assignment) == (not tf[index])
+
+
+def test_quantification(engine):
+    bdd, rng, nodes, tables = engine
+    for f, table in zip(nodes, tables):
+        cube = [v for v in VARS if rng.random() < 0.5]
+        ex = bdd.exists(f, cube)
+        fa = bdd.forall(f, cube)
+        for assignment in ASSIGNMENTS:
+            branches = []
+            for sub in itertools.product([False, True], repeat=len(cube)):
+                probe = dict(assignment)
+                probe.update(zip(cube, sub))
+                branches.append(
+                    table[ASSIGNMENTS.index({v: probe[v] for v in VARS})]
+                )
+            assert evaluate(bdd, ex, assignment) == any(branches)
+            assert evaluate(bdd, fa, assignment) == all(branches)
+        # Duality: exists f == ~forall ~f.
+        assert ex == bdd.apply_not(bdd.forall(bdd.apply_not(f), cube))
+
+
+def test_and_exists_matches_unfused(engine):
+    bdd, rng, nodes, _ = engine
+    for f, g in zip(nodes, reversed(nodes)):
+        cube = [v for v in VARS if rng.random() < 0.5]
+        fused = bdd.and_exists(f, g, cube)
+        unfused = bdd.exists(bdd.apply_and(f, g), cube)
+        assert fused == unfused
+
+
+def test_restrict_and_compose(engine):
+    bdd, rng, nodes, tables = engine
+    for f, table in zip(nodes, tables):
+        variable = rng.randrange(NVARS)
+        g = nodes[rng.randrange(len(nodes))]
+        for value in (False, True):
+            restricted = bdd.restrict(f, variable, value)
+            for assignment in ASSIGNMENTS:
+                probe = dict(assignment)
+                probe[variable] = value
+                assert evaluate(bdd, restricted, assignment) == table[
+                    ASSIGNMENTS.index({v: probe[v] for v in VARS})
+                ]
+        composed = bdd.compose(f, variable, g)
+        for assignment in ASSIGNMENTS:
+            probe = dict(assignment)
+            probe[variable] = evaluate(bdd, g, assignment)
+            assert evaluate(bdd, composed, assignment) == table[
+                ASSIGNMENTS.index({v: probe[v] for v in VARS})
+            ]
+
+
+def test_rename(engine):
+    bdd, _, nodes, tables = engine
+    mapping = {v: v + NVARS for v in VARS}
+    for f, table in zip(nodes, tables):
+        renamed = bdd.rename(f, mapping)
+        for assignment, expected in zip(ASSIGNMENTS, table):
+            shifted = {v + NVARS: value for v, value in assignment.items()}
+            assert evaluate(bdd, renamed, shifted) == expected
+
+
+def test_rename_rejects_order_violations():
+    bdd = BDD()
+    f = bdd.apply_and(bdd.variable(0), bdd.variable(1))
+    with pytest.raises(ValueError):
+        bdd.rename(f, {0: 5})  # 0 -> 5 would sink the root below variable 1
+
+
+def test_sat_count_and_iter(engine):
+    bdd, _, nodes, tables = engine
+    for f, table in zip(nodes, tables):
+        expected = {
+            tuple(assignment[v] for v in VARS)
+            for assignment, value in zip(ASSIGNMENTS, table)
+            if value
+        }
+        assert bdd.sat_count(f, VARS) == len(expected)
+        assert set(bdd.sat_iter(f, VARS)) == expected
+
+
+def test_sat_count_requires_support():
+    bdd = BDD()
+    f = bdd.variable(3)
+    with pytest.raises(ValueError):
+        bdd.sat_count(f, [0, 1])
+
+
+def test_cube_and_support():
+    bdd = BDD()
+    literals = {0: True, 2: False, 4: True}
+    cube = bdd.cube(literals)
+    assert bdd.support(cube) == frozenset(literals)
+    for assignment in ASSIGNMENTS:
+        expected = all(assignment[v] == polarity for v, polarity in literals.items())
+        probe = dict(assignment)
+        assert bdd.evaluate(cube, probe) == expected
+
+
+def test_evaluate_missing_variable_raises():
+    bdd = BDD()
+    f = bdd.variable(2)
+    with pytest.raises(KeyError):
+        bdd.evaluate(f, {0: True})
+
+
+def test_size_counts_internal_nodes():
+    bdd = BDD()
+    assert bdd.size(bdd.true) == 0
+    assert bdd.size(bdd.variable(0)) == 1
+    chain = bdd.big_and(bdd.variable(v) for v in range(4))
+    assert bdd.size(chain) == 4

@@ -73,6 +73,48 @@ class TestParser:
                        "--failures", "byzantine"]
                 )
 
+    def test_engine_flag_defaults_to_bitset(self):
+        parser = build_parser()
+        for arguments in (
+            ["table1"],
+            ["synthesize", "--exchange", "floodset", "--agents", "2",
+             "--faulty", "1"],
+            ["check", "--exchange", "floodset", "--agents", "2", "--faulty", "1"],
+        ):
+            assert parser.parse_args(arguments).engine == "bitset"
+
+    def test_engine_flag_accepts_every_backend(self):
+        from repro.engines import ENGINES
+
+        parser = build_parser()
+        for engine in ENGINES:
+            args = parser.parse_args(["table3", "--engine", engine])
+            assert args.engine == engine
+
+    def test_engine_flag_is_validated(self):
+        parser = build_parser()
+        for command in (
+            ["table1"],
+            ["table2"],
+            ["table3"],
+            ["ablation-temporal"],
+            ["ablation-failures"],
+            ["synthesize", "--exchange", "floodset", "--agents", "2",
+             "--faulty", "1"],
+            ["check", "--exchange", "floodset", "--agents", "2", "--faulty", "1"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args(command + ["--engine", "cudd"])
+
+    def test_engine_flag_rejection_names_the_backends(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["table1", "--engine", "cudd"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        for engine in ("bitset", "symbolic", "set"):
+            assert engine in message
+
 
 class TestCommands:
     def test_synthesize_sba_prints_conditions(self, capsys):
@@ -191,6 +233,36 @@ class TestCommands:
         json_out = capsys.readouterr().out
         assert code == 0
         assert '"table": "table1"' in json_out
+
+    def test_engine_threads_into_journal_and_report(self, capsys, tmp_path):
+        """--engine lands in the spec record, every cell key, and the report."""
+        import json
+
+        results = tmp_path / "t3.jsonl"
+        code = main(["table3", "--max-n", "2", "--timeout", "60", "--quiet",
+                     "--engine", "symbolic", "--output", str(results)])
+        capsys.readouterr()
+        assert code == 0
+        records = [json.loads(line) for line in results.read_text().splitlines()]
+        spec_records = [r for r in records if r["kind"] == "spec"]
+        assert spec_records and all(r["engine"] == "symbolic" for r in spec_records)
+        outcome_records = [r for r in records if r["kind"] == "outcome"]
+        assert outcome_records
+        for record in outcome_records:
+            assert record["params"]["engine"] == "symbolic"
+            assert '"engine":"symbolic"' in record["key"]
+
+        code = main(["report", str(results), "--format", "json"])
+        report_out = capsys.readouterr().out
+        assert code == 0
+        assert '"engine": "symbolic"' in report_out
+
+    def test_check_command_runs_under_symbolic_engine(self, capsys):
+        code = main(["check", "--exchange", "floodset", "--agents", "2",
+                     "--faulty", "1", "--engine", "symbolic", "--timeout", "120"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "engine: symbolic" in captured.out
 
     def test_resume_requires_output(self, capsys):
         code = main(["table1", "--max-n", "2", "--resume", "--quiet"])

@@ -25,8 +25,12 @@ from repro.harness.tables import (
 QUICK_CASE = {"exchange": "floodset", "num_agents": 2, "max_faulty": 1}
 
 
-def _stubborn_sleep(seconds: float = 30.0) -> dict:
-    """A task that ignores SIGTERM — only SIGKILL can stop it early."""
+def _stubborn_sleep(seconds: float = 30.0, engine: str = "bitset") -> dict:
+    """A task that ignores SIGTERM — only SIGKILL can stop it early.
+
+    Accepts ``engine`` because the grid engine resolves the table's
+    satisfaction engine into every cell's parameters.
+    """
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     deadline = time.monotonic() + seconds
     while time.monotonic() < deadline:

@@ -196,10 +196,13 @@ class TestRunTableWithStore:
                 )])
             ],
         )
+        # The params must match the resolved cell exactly — the engine is part
+        # of the canonical key, so a TO recorded under another backend would
+        # (correctly) not be reused.
         to_outcome = CaseOutcome(
             task="sba-synthesis",
             params={"exchange": "floodset", "num_agents": 2, "max_faulty": 1,
-                    "max_states": 2_000_000},
+                    "max_states": 2_000_000, "engine": "bitset"},
             seconds=None,
             timed_out=True,
         )
@@ -215,6 +218,94 @@ class TestRunTableWithStore:
         retried = run_table(spec, timeout=60.0, store=ResultStore(store.path),
                             resume=True, verbose=False)
         assert retried.cell((0,), "synth") != "TO"
+
+    def test_resume_never_mixes_engines(self, tmp_path):
+        """Outcomes journalled under one engine are not reused by another."""
+        from repro.harness.tables import table3_spec
+
+        kwargs = dict(max_n=2, )
+        store_path = tmp_path / "t3.jsonl"
+        first = run_table(
+            table3_spec(**kwargs, engine="bitset"), timeout=60.0,
+            store=ResultStore(store_path), verbose=False,
+        )
+        bitset_records = len(ResultStore(store_path))
+
+        # Resuming under the symbolic engine finds no reusable cells: every
+        # canonical key differs in the engine parameter, so the grid re-runs
+        # and the journal doubles.
+        resumed = run_table(
+            table3_spec(**kwargs, engine="symbolic"), timeout=60.0,
+            store=ResultStore(store_path), resume=True, verbose=False,
+        )
+        reloaded = ResultStore(store_path)
+        assert len(reloaded) == 2 * bitset_records
+        for (row_key, column), outcome in resumed.outcomes.items():
+            assert outcome.params["engine"] == "symbolic", (row_key, column)
+        # Both engines agree cell for cell on the qualitative results.
+        for key, outcome in first.outcomes.items():
+            mirror = resumed.outcomes[key]
+            for field_name in ("states", "iterations", "converged"):
+                assert outcome.result[field_name] == mirror.result[field_name]
+
+        # Resuming again under the original engine reuses its own cells.
+        rerun = run_table(
+            table3_spec(**kwargs, engine="bitset"), timeout=60.0,
+            store=ResultStore(store_path), resume=True, verbose=False,
+        )
+        assert len(ResultStore(store_path)) == 2 * bitset_records
+        for key, outcome in rerun.outcomes.items():
+            assert outcome.seconds == first.outcomes[key].seconds
+
+    def test_pre_engine_journals_resume_under_bitset_only(self, tmp_path):
+        """Old journals (no engine in cell params) stay resumable — but only
+        by the bitset engine, which is what they were recorded under."""
+        from repro.harness.tables import table3_spec
+
+        legacy_params = {"exchange": "emin", "num_agents": 2, "max_faulty": 1,
+                         "failures": "crash", "max_states": 2_000_000}
+        legacy = CaseOutcome(
+            task="eba-synthesis", params=legacy_params, seconds=1.25,
+            timed_out=False,
+            result={"task": "eba-synthesis", "states": 1, "iterations": 1,
+                    "converged": True},
+        )
+        store = ResultStore(tmp_path / "legacy.jsonl")
+        store.record(legacy, timeout=60.0)
+
+        modern_params = dict(legacy_params, engine="bitset")
+        reloaded = ResultStore(store.path)
+        assert reloaded.get("eba-synthesis", modern_params) is legacy or (
+            reloaded.get("eba-synthesis", modern_params).seconds == 1.25
+        )
+        assert reloaded.budget_for("eba-synthesis", modern_params) == 60.0
+        assert reloaded.get(
+            "eba-synthesis", dict(legacy_params, engine="symbolic")
+        ) is None
+
+        # End to end: resuming the bitset grid reuses the legacy cell...
+        resumed = run_table(
+            table3_spec(max_n=2, engine="bitset"), timeout=60.0,
+            store=ResultStore(store.path), resume=True, verbose=False,
+        )
+        assert resumed.outcomes[((2, 1), "emin-crash")].seconds == 1.25
+        # ...while a symbolic resume re-runs it.
+        symbolic = run_table(
+            table3_spec(max_n=2, engine="symbolic"), timeout=60.0,
+            store=ResultStore(store.path), resume=True, verbose=False,
+        )
+        assert symbolic.outcomes[((2, 1), "emin-crash")].seconds != 1.25
+
+    def test_spec_record_carries_the_engine(self, tmp_path):
+        from repro.harness.tables import render_json, table3_spec
+
+        store = ResultStore(tmp_path / "t3.jsonl")
+        run_table(table3_spec(max_n=2, engine="symbolic"), timeout=60.0,
+                  store=store, verbose=False)
+        reloaded = ResultStore(store.path)
+        result = reloaded.load_result()
+        assert result.spec.engine == "symbolic"
+        assert '"engine": "symbolic"' in render_json(result)
 
     def test_rerun_without_resume_overwrites(self, tmp_path):
         spec = table1_spec(**self.SPEC_KWARGS)
