@@ -31,7 +31,7 @@ from pathlib import Path
 
 from repro.core.checker import ModelChecker
 from repro.core.reference import SetChecker
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.logic.atoms import decides_now
 from repro.logic.builders import big_or, common_belief_exists, neg
 from repro.logic.formula import EvEventually, Knows
@@ -118,7 +118,7 @@ def _compare(space, formulas) -> dict:
 def test_table1_sba_n6_speedup():
     """Table 1 workload, FloodSet n=6: the acceptance-criterion cell (≥5×)."""
     n, t = (4, 1) if SMOKE else (6, 2)
-    model = build_sba_model("floodset", num_agents=n, max_faulty=t)
+    model = build_model(Scenario(exchange="floodset", num_agents=n, max_faulty=t))
     space = build_space(model, FloodSetStandardProtocol(n, t))
     formulas = list(sba_spec_formulas(model, space.horizon).values())
     formulas += [
@@ -142,7 +142,7 @@ def test_table1_sba_n6_speedup():
 def test_table3_eba_speedup():
     """Table 3 workload, E_min n=4 under sending omissions (recorded)."""
     n, t = (3, 1) if SMOKE else (4, 1)
-    model = build_eba_model("emin", num_agents=n, max_faulty=t, failures="sending")
+    model = build_model(Scenario(exchange="emin", num_agents=n, max_faulty=t, failures="sending"))
     space = build_space(model, EMinProtocol(n, t))
     formulas = list(eba_spec_formulas(model, space.horizon).values())
     someone_decides_zero = big_or(decides_now(agent, 0) for agent in model.agents())

@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.core.cover import assignment_to_index, certify_cover
 from repro.core.synthesis import synthesize_eba
-from repro.factory import build_eba_model
+from repro.api import Scenario, build_model
 
 # Benchmark-smoke mode (see benchmarks/conftest.py): keep the functional
 # checks, drop the wall-clock assertion and recording.
@@ -75,8 +75,8 @@ def _prior_qm_seconds() -> float:
 
 def test_roadmap_repro_condition_rendering():
     """The ROADMAP scenario's rendering drops from ~2 min to sub-second."""
-    model = build_eba_model(
-        "ebasic", num_agents=3, max_faulty=1, failures="sending"
+    model = build_model(
+        Scenario(exchange="ebasic", num_agents=3, max_faulty=1, failures="sending")
     )
     start = time.perf_counter()
     result = synthesize_eba(model)

@@ -34,7 +34,7 @@ import time
 from pathlib import Path
 
 from repro.core.synthesis import sba_condition_evaluator, synthesize_sba
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.protocols.sba import FloodSetStandardProtocol
 from repro.systems.space import build_space
 
@@ -125,7 +125,7 @@ def test_synthesis_conditions_sweep():
     symbolic_completes_beyond_set = False
 
     for n, t in SWEEP:
-        model = build_sba_model("floodset", num_agents=n, max_faulty=t)
+        model = build_model(Scenario(exchange="floodset", num_agents=n, max_faulty=t))
         space = build_space(model, FloodSetStandardProtocol(n, t))
         row = {"n": n, "t": t, "states": space.num_states(), "engines": {}}
         # The bitset engine runs first, unbudgeted: its time calibrates the
@@ -193,7 +193,7 @@ def test_full_synthesis_comparison():
     """End-to-end synthesize_sba wall-clock per engine (build included)."""
     rows = []
     for n, t in FULL_SYNTH:
-        model = build_sba_model("floodset", num_agents=n, max_faulty=t)
+        model = build_model(Scenario(exchange="floodset", num_agents=n, max_faulty=t))
         row = {"n": n, "t": t, "engines": {}}
         reference = None
         for engine in ENGINES:

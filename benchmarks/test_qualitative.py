@@ -21,7 +21,7 @@ from repro.analysis import (
     naive_floodset_hypothesis,
 )
 from repro.core.synthesis import synthesize_sba
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.kbp import verify_eba_implementation, verify_sba_implementation
 from repro.protocols import (
     DworkMosesProtocol,
@@ -33,7 +33,7 @@ from repro.protocols import (
 
 def test_e4_floodset_condition_two(benchmark):
     def experiment():
-        model = build_sba_model("floodset", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=2))
         result = synthesize_sba(model)
         naive = result.conditions.check_hypothesis(0, naive_floodset_hypothesis(3, 2, 0))
         revised = result.conditions.check_hypothesis(
@@ -50,7 +50,7 @@ def test_e4_floodset_condition_two(benchmark):
 
 def test_e5_count_early_exit(benchmark):
     def experiment():
-        model = build_sba_model("count", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="count", num_agents=3, max_faulty=2))
         result = synthesize_sba(model)
         hypothesis = result.conditions.check_hypothesis(
             0, count_condition_hypothesis(3, 2, 0)
@@ -65,9 +65,9 @@ def test_e5_count_early_exit(benchmark):
 
 def test_e6_diff_no_improvement(benchmark):
     def experiment():
-        diff_result = synthesize_sba(build_sba_model("diff", num_agents=3, max_faulty=2))
+        diff_result = synthesize_sba(build_model(Scenario(exchange="diff", num_agents=3, max_faulty=2)))
         count_result = synthesize_sba(
-            build_sba_model("count", num_agents=3, max_faulty=2)
+            build_model(Scenario(exchange="count", num_agents=3, max_faulty=2))
         )
         return check_diff_no_improvement(diff_result, count_result)
 
@@ -76,7 +76,7 @@ def test_e6_diff_no_improvement(benchmark):
 
 def test_e7_dwork_moses_correctness(benchmark):
     def experiment():
-        model = build_sba_model("dwork-moses", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="dwork-moses", num_agents=3, max_faulty=2))
         return verify_sba_implementation(model, DworkMosesProtocol(3, 2))
 
     report = benchmark.pedantic(experiment, rounds=1, iterations=1)
@@ -87,8 +87,8 @@ def test_e8_eba_implementations(benchmark):
     def experiment():
         reports = []
         for exchange, protocol_cls in (("emin", EMinProtocol), ("ebasic", EBasicProtocol)):
-            model = build_eba_model(
-                exchange, num_agents=3, max_faulty=1, failures="sending"
+            model = build_model(
+                Scenario(exchange=exchange, num_agents=3, max_faulty=1, failures="sending")
             )
             reports.append(verify_eba_implementation(model, protocol_cls(3, 1)))
         return reports

@@ -16,7 +16,7 @@ Run with::
     python examples/count_floodset_optimization.py
 """
 
-from repro import build_sba_model, synthesize_sba
+from repro import Scenario, build_model, synthesize_sba
 from repro.analysis import (
     check_count_le_two_insufficient,
     check_diff_no_improvement,
@@ -30,7 +30,7 @@ MAX_FAULTY = 2
 
 
 def main() -> None:
-    count_model = build_sba_model("count", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY)
+    count_model = build_model(Scenario(exchange="count", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY))
     count_result = synthesize_sba(count_model)
 
     print("Synthesized decision condition for value 0 (agent 0), Count exchange:")
@@ -53,7 +53,7 @@ def main() -> None:
     )
 
     # --- The Diff exchange does not improve on the single count ----------------
-    diff_model = build_sba_model("diff", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY)
+    diff_model = build_model(Scenario(exchange="diff", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY))
     diff_result = synthesize_sba(diff_model)
     unchanged = check_diff_no_improvement(diff_result, count_result)
     print(

@@ -16,7 +16,7 @@ Run with::
     python examples/dwork_moses_waste.py
 """
 
-from repro import ModelChecker, build_sba_model
+from repro import ModelChecker, Scenario, build_model
 from repro.kbp import verify_sba_implementation
 from repro.protocols import DworkMosesProtocol
 from repro.spec.sba import sba_spec_formulas
@@ -46,8 +46,8 @@ def trace(model, protocol, votes, adversary, label):
 
 
 def main() -> None:
-    model = build_sba_model(
-        "dwork-moses", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY
+    model = build_model(
+        Scenario(exchange="dwork-moses", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY)
     )
     protocol = DworkMosesProtocol(NUM_AGENTS, MAX_FAULTY)
 
@@ -66,7 +66,7 @@ def main() -> None:
     trace(model, protocol, (0, 0, 0, 1), adversary, "three silent crashes in round 1")
 
     # Model check the protocol (smaller instance keeps this quick).
-    small = build_sba_model("dwork-moses", num_agents=3, max_faulty=2)
+    small = build_model(Scenario(exchange="dwork-moses", num_agents=3, max_faulty=2))
     small_protocol = DworkMosesProtocol(3, 2)
     space = build_space(small, small_protocol)
     checker = ModelChecker(space)

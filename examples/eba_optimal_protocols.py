@@ -20,7 +20,7 @@ Run with::
     python examples/eba_optimal_protocols.py
 """
 
-from repro import ModelChecker, build_eba_model, synthesize_eba
+from repro import ModelChecker, Scenario, build_model, synthesize_eba
 from repro.kbp import verify_eba_implementation
 from repro.protocols import EBasicProtocol, EMinProtocol
 from repro.spec.eba import eba_spec_formulas
@@ -33,8 +33,8 @@ MAX_FAULTY = 1
 
 def main() -> None:
     for exchange, protocol_cls in (("emin", EMinProtocol), ("ebasic", EBasicProtocol)):
-        model = build_eba_model(
-            exchange, num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending"
+        model = build_model(
+            Scenario(exchange=exchange, num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending")
         )
         protocol = protocol_cls(NUM_AGENTS, MAX_FAULTY)
         space = build_space(model, protocol)
@@ -46,8 +46,8 @@ def main() -> None:
         print(f"  implementation of P0: {report.summary()}")
 
     # --- Synthesis of P0 for E_min --------------------------------------------
-    model = build_eba_model(
-        "emin", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending"
+    model = build_model(
+        Scenario(exchange="emin", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending")
     )
     result = synthesize_eba(model)
     print(
@@ -59,11 +59,11 @@ def main() -> None:
 
     # --- E_basic decides earlier on the all-ones run ---------------------------
     adversary = OmissionAdversary()
-    emin_model = build_eba_model(
-        "emin", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending"
+    emin_model = build_model(
+        Scenario(exchange="emin", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending")
     )
-    ebasic_model = build_eba_model(
-        "ebasic", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending"
+    ebasic_model = build_model(
+        Scenario(exchange="ebasic", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY, failures="sending")
     )
     votes = (1,) * NUM_AGENTS
     emin_run = simulate_run(

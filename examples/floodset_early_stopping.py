@@ -21,7 +21,7 @@ Run with::
     python examples/floodset_early_stopping.py
 """
 
-from repro import build_sba_model, synthesize_sba
+from repro import Scenario, build_model, synthesize_sba
 from repro.analysis import floodset_condition_hypothesis, naive_floodset_hypothesis
 from repro.kbp import verify_sba_implementation
 from repro.protocols import FloodSetRevisedProtocol, FloodSetStandardProtocol
@@ -33,7 +33,7 @@ MAX_FAULTY = 2
 
 
 def main() -> None:
-    model = build_sba_model("floodset", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY)
+    model = build_model(Scenario(exchange="floodset", num_agents=NUM_AGENTS, max_faulty=MAX_FAULTY))
 
     # --- Model checking the textbook rule -------------------------------------
     standard = FloodSetStandardProtocol(NUM_AGENTS, MAX_FAULTY)

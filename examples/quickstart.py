@@ -17,19 +17,21 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import ModelChecker, build_sba_model, synthesize_sba
+from repro import ModelChecker, Scenario, Session
 from repro.kbp import verify_sba_implementation
 from repro.protocols import FloodSetStandardProtocol
 from repro.spec.sba import sba_spec_formulas
 
 
 def main() -> None:
-    # 1. The model: FloodSet exchange under crash failures, n=3, t=1, |V|=2.
-    model = build_sba_model("floodset", num_agents=3, max_faulty=1, num_values=2)
+    # 1. The scenario: FloodSet exchange under crash failures, n=3, t=1, |V|=2.
+    session = Session()
+    scenario = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+    model = session.model(scenario)
     print(f"Model: {model}")
 
     # 2. Synthesize the optimal implementation of the knowledge-based program.
-    result = synthesize_sba(model)
+    result = session.synthesis_artifact(scenario)
     print(f"\nReachable states per time level: {[len(l) for l in result.space.levels]}")
 
     # 3. The synthesized decision conditions (agent 0; the model is symmetric).

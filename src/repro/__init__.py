@@ -15,16 +15,29 @@ The package provides:
 * a benchmark harness that regenerates the paper's tables
   (:mod:`repro.harness`).
 
+The public facade is :mod:`repro.api` — a validated, hashable
+:class:`~repro.api.Scenario`, a memoising :class:`~repro.api.Session`, a
+versioned typed result schema, and the ``repro serve`` JSON service.
+
 Quick start::
 
-    from repro import build_sba_model, synthesize_sba
+    from repro import Scenario, Session
 
-    model = build_sba_model("floodset", num_agents=3, max_faulty=1)
-    result = synthesize_sba(model)
+    session = Session()
+    scenario = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+    result = session.synthesis_artifact(scenario)
     print(result.conditions.describe())
 """
 
 from repro.version import __version__
+from repro.api import (
+    CheckResult,
+    Scenario,
+    Session,
+    SynthesisResult,
+    build_model,
+    result_from_json,
+)
 from repro.engines import DEFAULT_ENGINE, ENGINES, checker_for
 from repro.factory import build_checker, build_eba_model, build_sba_model
 from repro.core.synthesis import synthesize_eba, synthesize_sba
@@ -35,6 +48,12 @@ from repro.systems.space import build_space
 
 __all__ = [
     "__version__",
+    "CheckResult",
+    "Scenario",
+    "Session",
+    "SynthesisResult",
+    "build_model",
+    "result_from_json",
     "build_sba_model",
     "build_eba_model",
     "build_checker",

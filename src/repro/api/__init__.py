@@ -1,0 +1,65 @@
+"""Public facade for the reproduction: scenarios, sessions, typed results.
+
+The three first-class objects:
+
+* :class:`Scenario` — a frozen, validated, hashable model configuration
+  (exchange, ``n``, ``t``, value domain, failure model, engine, horizon and
+  protocol-variant flag) with a canonical JSON form that keys caches and
+  result journals;
+* :class:`Session` — lazily builds and memoises per-scenario artefacts
+  (model → space → checker → spec formulas → synthesis fixpoints) behind one
+  bounded cache, so repeated and batched queries amortise construction;
+* the versioned result schema (:class:`CheckResult`,
+  :class:`SynthesisResult`, :class:`TableCell`) with ``to_json``/
+  ``from_json`` round-trips.
+
+Quick start::
+
+    from repro.api import Scenario, Session
+
+    session = Session()
+    scenario = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+    verdict = session.check(scenario)        # typed CheckResult
+    synthesis = session.synthesize(scenario) # warm: reuses the cached model
+    print(verdict.optimal, synthesis.earliest_condition_time)
+
+``repro serve`` (see :mod:`repro.api.service`) exposes the same facade over
+JSON HTTP from one long-running shared session.
+"""
+
+from repro.api.build import build_model, literature_protocol
+from repro.api.results import (
+    SCHEMA_VERSION,
+    CheckResult,
+    SchemaVersionError,
+    SynthesisResult,
+    TableCell,
+    result_from_json,
+)
+from repro.api.scenario import (
+    EBA_EXCHANGES,
+    SBA_EXCHANGES,
+    TASK_FIELDS,
+    Scenario,
+    task_family,
+)
+from repro.api.session import QUERY_OPS, Session, SessionStats
+
+__all__ = [
+    "EBA_EXCHANGES",
+    "QUERY_OPS",
+    "SBA_EXCHANGES",
+    "SCHEMA_VERSION",
+    "TASK_FIELDS",
+    "CheckResult",
+    "Scenario",
+    "SchemaVersionError",
+    "Session",
+    "SessionStats",
+    "SynthesisResult",
+    "TableCell",
+    "build_model",
+    "literature_protocol",
+    "result_from_json",
+    "task_family",
+]

@@ -1,0 +1,239 @@
+"""Versioned, typed result objects for the public API.
+
+Every query through :class:`repro.api.Session` (and hence every harness
+task, CLI command and ``repro serve`` response) returns one of these
+dataclasses instead of an ad-hoc dictionary:
+
+* :class:`CheckResult` — a model-checking verdict (temporal specification
+  results plus, for SBA, the implementation/optimality report);
+* :class:`SynthesisResult` — a synthesis summary (state counts, earliest
+  decision time for SBA, fixpoint iterations for EBA);
+* :class:`TableCell` — one budgeted experiment-grid cell (outcome, timing,
+  rendered form).
+
+Each type serialises with :meth:`to_json`, which stamps the schema version
+and a type tag, and deserialises with :meth:`from_json`, which refuses
+records with a missing or unknown version (:class:`SchemaVersionError`)
+instead of guessing.  :func:`result_from_json` dispatches on the type tag.
+
+:meth:`to_dict` renders the *legacy* payload shape — exactly the dictionary
+the experiment tasks have always returned — so result journals written
+before the redesign and the ones written after it stay interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional
+
+#: The current result-schema version.  Bump when a field changes meaning or
+#: shape; ``from_json`` refuses anything else.
+SCHEMA_VERSION = 1
+
+
+class SchemaVersionError(ValueError):
+    """A serialised result carries a missing or unsupported schema version."""
+
+
+def _check_version(data: Mapping[str, object], expected_type: str) -> None:
+    version = data.get("schema_version")
+    if version is None:
+        raise SchemaVersionError(
+            f"serialised {expected_type} result has no 'schema_version' field"
+        )
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"unsupported {expected_type} result schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    tag = data.get("type")
+    if tag != expected_type:
+        raise ValueError(
+            f"expected a {expected_type!r} result record, got type {tag!r}"
+        )
+
+
+def _payload(data: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        key: value
+        for key, value in data.items()
+        if key not in ("schema_version", "type")
+    }
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of model checking one scenario.
+
+    ``spec`` maps specification-formula names to their verdicts.  The
+    implementation fields (``implementation_ok``/``optimal``/``sound``/
+    ``late_points``) are populated by the SBA model check, which also
+    compares the protocol's decisions against the knowledge conditions;
+    they are ``None`` for the purely temporal and the EBA checks.
+    """
+
+    task: str
+    engine: str
+    exchange: str
+    failures: str
+    num_agents: int
+    max_faulty: int
+    states: int
+    spec: Dict[str, bool] = field(default_factory=dict)
+    rounds: Optional[int] = None
+    protocol: Optional[str] = None
+    implementation_ok: Optional[bool] = None
+    optimal: Optional[bool] = None
+    sound: Optional[bool] = None
+    late_points: Optional[int] = None
+
+    @property
+    def spec_ok(self) -> bool:
+        """True when every specification formula holds."""
+        return all(self.spec.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """The legacy task payload for this result (journal-compatible)."""
+        payload: Dict[str, object] = {
+            "task": self.task,
+            "engine": self.engine,
+            "exchange": self.exchange,
+            "n": self.num_agents,
+            "t": self.max_faulty,
+            "states": self.states,
+            "spec": dict(self.spec),
+        }
+        if self.task == "sba-model-check":
+            payload.update(
+                failures=self.failures,
+                rounds=self.rounds,
+                protocol=self.protocol,
+                implementation_ok=self.implementation_ok,
+                optimal=self.optimal,
+                sound=self.sound,
+                late_points=self.late_points,
+            )
+        elif self.task == "eba-model-check":
+            payload.update(failures=self.failures, protocol=self.protocol)
+        return payload
+
+    def to_json(self) -> Dict[str, object]:
+        """The versioned wire form (schema version + type tag + all fields)."""
+        data = asdict(self)
+        data["schema_version"] = SCHEMA_VERSION
+        data["type"] = "check"
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "CheckResult":
+        _check_version(data, "check")
+        return cls(**_payload(data))
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """The outcome of synthesizing one scenario's knowledge-based program.
+
+    ``earliest_condition_time`` is the first time any SBA decision condition
+    is satisfiable; ``iterations``/``converged`` report the EBA fixpoint.
+    """
+
+    task: str
+    engine: str
+    exchange: str
+    failures: str
+    num_agents: int
+    max_faulty: int
+    states: int
+    earliest_condition_time: Optional[int] = None
+    iterations: Optional[int] = None
+    converged: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """The legacy task payload for this result (journal-compatible)."""
+        payload: Dict[str, object] = {
+            "task": self.task,
+            "engine": self.engine,
+            "exchange": self.exchange,
+            "failures": self.failures,
+            "n": self.num_agents,
+            "t": self.max_faulty,
+            "states": self.states,
+        }
+        if self.task == "sba-synthesis":
+            payload["earliest_condition_time"] = self.earliest_condition_time
+        else:
+            payload["iterations"] = self.iterations
+            payload["converged"] = self.converged
+        return payload
+
+    def to_json(self) -> Dict[str, object]:
+        """The versioned wire form (schema version + type tag + all fields)."""
+        data = asdict(self)
+        data["schema_version"] = SCHEMA_VERSION
+        data["type"] = "synthesis"
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "SynthesisResult":
+        _check_version(data, "synthesis")
+        return cls(**_payload(data))
+
+
+@dataclass(frozen=True)
+class TableCell:
+    """One budgeted experiment-grid cell: rendered form plus raw outcome."""
+
+    column: str
+    cell: str
+    seconds: Optional[float] = None
+    timed_out: bool = False
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+
+    @classmethod
+    def from_outcome(cls, column: str, outcome) -> "TableCell":
+        """Build a cell from a :class:`~repro.harness.runner.CaseOutcome`."""
+        return cls(
+            column=column,
+            cell=outcome.cell(),
+            seconds=outcome.seconds,
+            timed_out=outcome.timed_out,
+            error=outcome.error,
+            result=outcome.result,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """The versioned wire form (schema version + type tag + all fields)."""
+        data = asdict(self)
+        data["schema_version"] = SCHEMA_VERSION
+        data["type"] = "table-cell"
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "TableCell":
+        _check_version(data, "table-cell")
+        return cls(**_payload(data))
+
+
+#: Dispatch table for :func:`result_from_json`.
+_RESULT_TYPES = {
+    "check": CheckResult,
+    "synthesis": SynthesisResult,
+    "table-cell": TableCell,
+}
+
+
+def result_from_json(data: Mapping[str, object]):
+    """Rebuild any typed result from its :meth:`to_json` form.
+
+    Dispatches on the ``type`` tag; refuses missing/unknown schema versions
+    with :class:`SchemaVersionError` and unknown type tags with
+    ``ValueError``.
+    """
+    tag = data.get("type")
+    if tag not in _RESULT_TYPES:
+        raise ValueError(
+            f"unknown result type {tag!r} (known: {sorted(_RESULT_TYPES)})"
+        )
+    return _RESULT_TYPES[tag].from_json(data)

@@ -1,0 +1,237 @@
+"""``repro serve``: a long-running JSON-over-HTTP query service.
+
+The service exposes the :class:`~repro.api.session.Session` facade over
+plain stdlib HTTP (no third-party dependencies), which is the first piece of
+the serving story: one resident process keeps the per-scenario artefacts
+warm, so the many small epistemic queries the paper's workloads consist of
+are answered from the session cache instead of rebuilding state spaces per
+request.
+
+Endpoints (all JSON):
+
+* ``POST /check`` — body ``{"scenario": {...}, "temporal": false}``; model
+  checks the scenario (``temporal: true`` runs the temporal-only ablation).
+* ``POST /synthesize`` — body ``{"scenario": {...}}``; synthesizes the
+  knowledge-based program implementation.
+* ``POST /batch`` — body ``{"requests": [{"op": "check"|"temporal"|
+  "synthesize", "scenario": {...}}, ...]}``; runs the whole batch on the
+  shared session and returns the results in order.
+* ``GET /health`` — liveness probe (also reports the cache statistics).
+* ``GET /stats`` — the session's cumulative cache statistics.
+
+Every successful response carries ``{"ok": true, "result": <typed result
+JSON>, "cache": <stats>}``; the result payloads are the versioned schema of
+:mod:`repro.api.results` (``schema_version`` included), and errors come
+back as ``{"ok": false, "error": ...}`` with a 4xx status.  Scenario
+documents are validated by :meth:`Scenario.from_json`, so a typo'd field is
+a 400, never a silently-defaulted query.
+
+The server is a ``ThreadingHTTPServer``; the session serialises artefact
+construction behind its lock, so concurrent identical requests never build
+the same space twice.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.api.scenario import Scenario
+from repro.api.session import QUERY_OPS, Session
+
+#: Default bind address and port for ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+#: Largest accepted request body, a guard against accidental floods.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceError(ValueError):
+    """A client error with the HTTP status it should map to."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_scenario(document: object) -> Scenario:
+    if not isinstance(document, dict):
+        raise ServiceError("request body must be a JSON object")
+    scenario_doc = document.get("scenario")
+    if not isinstance(scenario_doc, dict):
+        raise ServiceError("request must carry a 'scenario' JSON object")
+    try:
+        return Scenario.from_json(scenario_doc)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"invalid scenario: {exc}") from exc
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's shared session."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def session(self) -> Session:
+        return self.server.session
+
+    def _read_body(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise ServiceError("Content-Length header is not an integer") from exc
+        if length > MAX_BODY_BYTES:
+            raise ServiceError("request body too large", status=413)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("request body must be JSON (got an empty body)")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_ok(self, payload: dict) -> None:
+        payload = dict(payload)
+        payload["ok"] = True
+        payload["cache"] = self.session.stats().to_json()
+        self._respond(200, payload)
+
+    def _respond_error(self, status: int, message: str) -> None:
+        self._respond(status, {"ok": False, "error": message})
+
+    # ------------------------------------------------------------- endpoints
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path in ("/health", "/healthz"):
+            self._respond_ok({"status": "serving"})
+        elif self.path == "/stats":
+            self._respond_ok({})
+        else:
+            self._respond_error(404, f"unknown endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            if self.path == "/check":
+                self._handle_check()
+            elif self.path == "/synthesize":
+                self._handle_synthesize()
+            elif self.path == "/batch":
+                self._handle_batch()
+            else:
+                self._respond_error(404, f"unknown endpoint {self.path!r}")
+        except ServiceError as exc:
+            self._respond_error(exc.status, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive: report, don't die
+            self._respond_error(500, f"internal error: {exc}")
+
+    def _handle_check(self) -> None:
+        document = self._read_body()
+        scenario = _parse_scenario(document)
+        temporal = bool(document.get("temporal", False))
+        try:
+            if temporal:
+                result = self.session.check_temporal(scenario)
+            else:
+                result = self.session.check(scenario)
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from exc
+        self._respond_ok({"result": result.to_json()})
+
+    def _handle_synthesize(self) -> None:
+        document = self._read_body()
+        scenario = _parse_scenario(document)
+        try:
+            result = self.session.synthesize(scenario)
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from exc
+        self._respond_ok({"result": result.to_json()})
+
+    def _handle_batch(self) -> None:
+        document = self._read_body()
+        if not isinstance(document, dict) or not isinstance(
+            document.get("requests"), list
+        ):
+            raise ServiceError("batch body must carry a 'requests' JSON array")
+        requests = []
+        for position, entry in enumerate(document["requests"]):
+            if not isinstance(entry, dict):
+                raise ServiceError(f"batch request {position} must be a JSON object")
+            op = entry.get("op", "check")
+            if op not in QUERY_OPS:
+                raise ServiceError(
+                    f"batch request {position}: unknown op {op!r} "
+                    f"(expected one of {QUERY_OPS})"
+                )
+            requests.append((op, _parse_scenario(entry)))
+        try:
+            results = self.session.batch(requests)
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from exc
+        self._respond_ok({"results": [result.to_json() for result in results]})
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A threading HTTP server with a shared :class:`Session`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        session: Optional[Session] = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ReproRequestHandler)
+        self.session = session if session is not None else Session()
+        self.verbose = verbose
+
+
+def make_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    session: Optional[Session] = None,
+    verbose: bool = False,
+) -> ReproServer:
+    """Build (but do not start) a service instance; ``port=0`` picks a free port."""
+    return ReproServer((host, port), session=session, verbose=verbose)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_size: int = 64,
+    verbose: bool = False,
+) -> int:
+    """Run the JSON service until interrupted (the ``repro serve`` command)."""
+    server = make_server(
+        host, port, session=Session(max_entries=cache_size), verbose=verbose
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"(cache {cache_size} entries; endpoints: /check /synthesize /batch "
+          f"/health /stats)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print("repro serve: shut down", flush=True)
+    return 0

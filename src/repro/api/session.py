@@ -1,0 +1,352 @@
+"""The :class:`Session`: memoised epistemic queries over shared artefacts.
+
+The paper's workloads are many small queries (spec checks, per-level
+conditions, optimality verdicts) over a handful of model configurations.
+Building the artefacts behind one query — the model, the levelled state
+space, the satisfaction checker, the specification formulas, a synthesis
+fixpoint — dominates its cost, and the loose-kwargs API rebuilt all of them
+on every call.  A session keys every artefact by the relevant slice of the
+:class:`~repro.api.scenario.Scenario` and keeps them in one bounded LRU
+cache, so repeated and batched queries amortise construction across grid
+cells, engines and query kinds:
+
+* two checks of the same configuration share the model, space, checker and
+  formulas (the second is a pure result-cache hit);
+* a temporal-only check after a full check reuses the space and checker;
+* a repeated synthesis returns the memoised fixpoint.
+
+Queries return the typed results of :mod:`repro.api.results`.  A session is
+thread-safe (one re-entrant lock around the cache and the queries), which is
+what lets ``repro serve`` answer concurrent requests from a single shared
+session.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.api.build import build_model, literature_protocol
+from repro.api.results import CheckResult, SynthesisResult
+from repro.api.scenario import Scenario
+from repro.engines import checker_for
+from repro.systems.space import build_space
+
+#: The query kinds a session (and the JSON service) understands.
+QUERY_OPS = ("check", "temporal", "synthesize")
+
+#: A batch request: (op, scenario).
+BatchRequest = Tuple[str, Scenario]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Cumulative cache statistics for a session."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class Session:
+    """A bounded memo of per-scenario artefacts behind typed queries.
+
+    ``max_entries`` bounds the number of cached artefacts (models, spaces,
+    checkers, formula sets, synthesis fixpoints and typed results all count
+    as one entry each); the least recently used entry is evicted first.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ cache
+
+    def _memo(self, key: Tuple, build: Callable[[], object]) -> object:
+        with self._lock:
+            if key in self._cache:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return self._cache[key]
+            self._misses += 1
+            value = build()
+            self._cache[key] = value
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+            return value
+
+    def stats(self) -> SessionStats:
+        """Cumulative cache statistics (hits include every artefact layer).
+
+        Deliberately lock-free: the counters are plain ints and ``len`` is
+        atomic under CPython, so liveness probes (``repro serve``'s
+        ``/health``) stay responsive even while a long artefact build holds
+        the session lock.
+        """
+        return SessionStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._cache),
+            max_entries=self.max_entries,
+        )
+
+    def clear(self) -> None:
+        """Drop every cached artefact (statistics are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------- artefacts
+
+    def _model_key(self, scenario: Scenario) -> Tuple:
+        return (
+            scenario.exchange,
+            scenario.num_agents,
+            scenario.max_faulty,
+            scenario.num_values,
+            scenario.failures,
+        )
+
+    def model(self, scenario: Scenario):
+        """The (memoised) Byzantine-Agreement model for a scenario."""
+        key = ("model",) + self._model_key(scenario)
+        return self._memo(key, lambda: build_model(scenario))
+
+    def _horizon(self, scenario: Scenario) -> int:
+        if scenario.rounds is not None:
+            return scenario.rounds
+        return self.model(scenario).default_horizon()
+
+    def _space(self, scenario: Scenario):
+        """(space, protocol, horizon) under the literature protocol.
+
+        The cache key excludes the engine — all satisfaction backends share
+        one space per (model, protocol, horizon, state budget).
+        """
+        protocol = literature_protocol(scenario)
+        horizon = self._horizon(scenario)
+        key = ("space",) + self._model_key(scenario) + (
+            protocol.name, horizon, scenario.max_states,
+        )
+        return self._memo(
+            key,
+            lambda: build_space(
+                self.model(scenario), protocol,
+                horizon=horizon, max_states=scenario.max_states,
+            ),
+        ), protocol, horizon
+
+    def space(self, scenario: Scenario):
+        """The (memoised) levelled space under the literature protocol."""
+        return self._space(scenario)[0]
+
+    def checker(self, scenario: Scenario):
+        """A (memoised) satisfaction checker over the scenario's space."""
+        space, protocol, horizon = self._space(scenario)
+        key = ("checker",) + self._model_key(scenario) + (
+            protocol.name, horizon, scenario.max_states, scenario.engine,
+        )
+        return self._memo(key, lambda: checker_for(space, scenario.engine))
+
+    def spec_formulas(self, scenario: Scenario) -> Dict[str, object]:
+        """The (memoised) specification formulas for the scenario's family."""
+        horizon = self._horizon(scenario)
+        key = ("spec", scenario.family) + self._model_key(scenario) + (horizon,)
+
+        def build():
+            model = self.model(scenario)
+            if scenario.family == "sba":
+                from repro.spec.sba import sba_spec_formulas
+
+                return sba_spec_formulas(model, horizon)
+            from repro.spec.eba import eba_spec_formulas
+
+            return eba_spec_formulas(model, horizon)
+
+        return self._memo(key, build)
+
+    def synthesis_artifact(self, scenario: Scenario):
+        """The full (memoised) synthesis result for a scenario.
+
+        Returns the rich :class:`~repro.core.synthesis.SBASynthesisResult`
+        or :class:`~repro.core.synthesis.EBASynthesisResult` — condition
+        tables, rule and space included.  The ``optimal_protocol`` flag is
+        irrelevant to synthesis and is normalised out of the cache key.
+        """
+        scenario = replace(scenario, optimal_protocol=False)
+        key = ("synthesis", scenario.canonical_json())
+
+        def build():
+            model = self.model(scenario)
+            if scenario.family == "sba":
+                from repro.core.synthesis import synthesize_sba
+
+                return synthesize_sba(
+                    model,
+                    horizon=scenario.rounds,
+                    max_states=scenario.max_states,
+                    engine=scenario.engine,
+                )
+            from repro.core.synthesis import synthesize_eba
+
+            return synthesize_eba(
+                model,
+                horizon=scenario.rounds,
+                max_states=scenario.max_states,
+                engine=scenario.engine,
+            )
+
+        return self._memo(key, build)
+
+    # --------------------------------------------------------------- queries
+
+    def check(self, scenario: Scenario) -> CheckResult:
+        """Model check the scenario's literature protocol.
+
+        For SBA scenarios this is the paper's full experiment: the temporal
+        specification formulas plus the knowledge-optimality comparison of
+        the protocol's decisions against ``B^N_i CB_N ∃v``.  For EBA
+        scenarios it checks the EBA specification.
+        """
+        task = scenario.check_task()
+        key = ("result", "check", scenario.canonical_json())
+        return self._memo(key, lambda: self._run_check(task, scenario))
+
+    def check_temporal(self, scenario: Scenario) -> CheckResult:
+        """Model check only the purely temporal SBA specification.
+
+        This is the paper's concluding-remark ablation: no knowledge or
+        common-belief operators, so it scales considerably further.  Only
+        SBA scenarios have a temporal-only task.  Unlike the harness task
+        (which always runs the model's default horizon), a scenario's
+        ``rounds`` override is honoured here, as it is in :meth:`check`.
+        """
+        if scenario.family != "sba":
+            raise ValueError(
+                "temporal-only checking is defined for SBA exchanges only "
+                f"(got {scenario.exchange!r})"
+            )
+        scenario = replace(scenario, optimal_protocol=False)
+        key = ("result", "temporal", scenario.canonical_json())
+        return self._memo(
+            key, lambda: self._run_check("sba-temporal-only", scenario)
+        )
+
+    def synthesize(self, scenario: Scenario) -> SynthesisResult:
+        """Synthesize the scenario's knowledge-based program implementation."""
+        scenario = replace(scenario, optimal_protocol=False)
+        key = ("result", "synthesize", scenario.canonical_json())
+        return self._memo(key, lambda: self._summarise_synthesis(scenario))
+
+    def query(self, op: str, scenario: Scenario):
+        """Dispatch one query by operation name (see :data:`QUERY_OPS`)."""
+        if op == "check":
+            return self.check(scenario)
+        if op == "temporal":
+            return self.check_temporal(scenario)
+        if op == "synthesize":
+            return self.synthesize(scenario)
+        raise ValueError(f"unknown query op {op!r} (expected one of {QUERY_OPS})")
+
+    def batch(
+        self, requests: Iterable[Union[BatchRequest, Sequence]]
+    ) -> List[Union[CheckResult, SynthesisResult]]:
+        """Run a sequence of ``(op, scenario)`` queries on the shared cache.
+
+        The whole point of batching: every query in the batch sees the
+        artefacts its predecessors built, so a grid of related scenarios
+        amortises space construction the way :func:`run_table`'s forked
+        children cannot.
+        """
+        results = []
+        for op, scenario in requests:
+            results.append(self.query(op, scenario))
+        return results
+
+    # -------------------------------------------------------------- internals
+
+    def _run_check(self, task: str, scenario: Scenario) -> CheckResult:
+        model = self.model(scenario)
+        space, protocol, horizon = self._space(scenario)
+        checker = self.checker(scenario)
+        spec_results = {
+            name: checker.holds_initially(formula)
+            for name, formula in self.spec_formulas(scenario).items()
+        }
+        result = CheckResult(
+            task=task,
+            engine=scenario.engine,
+            exchange=scenario.exchange,
+            failures=scenario.failures,
+            num_agents=scenario.num_agents,
+            max_faulty=scenario.max_faulty,
+            states=space.num_states(),
+            spec=spec_results,
+            rounds=horizon,
+            protocol=protocol.name,
+        )
+        if task != "sba-model-check":
+            return result
+        # The verifier shares the checker's engine state (one symbolic
+        # encoder per scenario, not one for the spec and one for the guards).
+        from repro.kbp.implementation import verify_sba_implementation
+
+        report = verify_sba_implementation(
+            model, protocol, space=space, engine=scenario.engine, checker=checker
+        )
+        return replace(
+            result,
+            implementation_ok=report.ok,
+            optimal=report.is_optimal,
+            sound=report.is_sound,
+            late_points=len(report.late_mismatches()),
+        )
+
+    def _summarise_synthesis(self, scenario: Scenario) -> SynthesisResult:
+        artifact = self.synthesis_artifact(scenario)
+        model = self.model(scenario)
+        base = dict(
+            task=scenario.synthesis_task(),
+            engine=scenario.engine,
+            exchange=scenario.exchange,
+            failures=scenario.failures,
+            num_agents=scenario.num_agents,
+            max_faulty=scenario.max_faulty,
+            states=artifact.space.num_states(),
+        )
+        if scenario.family == "sba":
+            earliest = None
+            for time in range(artifact.space.horizon + 1):
+                if any(
+                    not artifact.conditions.get(agent, time, value).always_false()
+                    for agent in model.agents()
+                    for value in model.values()
+                ):
+                    earliest = time
+                    break
+            return SynthesisResult(**base, earliest_condition_time=earliest)
+        return SynthesisResult(
+            **base, iterations=artifact.iterations, converged=artifact.converged
+        )

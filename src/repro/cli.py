@@ -10,6 +10,14 @@ Examples::
     python -m repro check --exchange floodset --agents 3 --faulty 2
     python -m repro check --exchange floodset --agents 3 --faulty 2 --engine symbolic
     python -m repro table3 --max-n 3 --engine symbolic --output table3-sym.jsonl
+    python -m repro serve --port 8765
+
+Every command goes through the :mod:`repro.api` facade: ``check`` and
+``synthesize`` construct a validated :class:`~repro.api.Scenario`, the table
+commands resolve their grids through scenarios (so journal keys are
+canonical), and ``serve`` runs the long-lived JSON-over-HTTP service on one
+shared :class:`~repro.api.Session` whose cache answers repeated queries
+without rebuilding state spaces.
 
 The table commands print the same row/column structure as the paper's
 Tables 1–3, with ``TO`` entries for cases exceeding the time budget.  With
@@ -29,9 +37,9 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from repro.core.synthesis import synthesize_eba, synthesize_sba
+from repro.api import Scenario, Session
+from repro.api.service import DEFAULT_HOST, DEFAULT_PORT, serve
 from repro.engines import DEFAULT_ENGINE, ENGINES
-from repro.factory import EBA_EXCHANGES, SBA_EXCHANGES, build_eba_model, build_sba_model
 from repro.failures import FAILURE_MODELS
 from repro.harness.runner import run_case
 from repro.harness.store import ResultStore
@@ -59,14 +67,22 @@ def default_workers() -> int:
         return os.cpu_count() or 1
 
 
-def _default_failures(exchange: str) -> str:
-    """The paper's failure model for an exchange when ``--failures`` is absent.
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """The validated scenario for a one-shot ``check``/``synthesize`` command.
 
-    The EBA experiments (Table 3) and the task defaults run sending
-    omissions — the model the ``P0`` optimality result is stated for — while
-    the SBA experiments (Tables 1 and 2) run crash failures.
+    ``--failures`` left unset means the paper's default for the exchange's
+    family (crash for SBA, sending omissions for EBA), which is exactly
+    ``Scenario``'s own normalisation.
     """
-    return "sending" if exchange in EBA_EXCHANGES else "crash"
+    return Scenario(
+        exchange=args.exchange,
+        num_agents=args.agents,
+        max_faulty=args.faulty,
+        num_values=getattr(args, "values", 2),
+        failures=args.failures,
+        optimal_protocol=getattr(args, "optimal", False),
+        engine=args.engine,
+    )
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -161,46 +177,37 @@ def _report_command(args: argparse.Namespace) -> int:
 
 
 def _synthesize_command(args: argparse.Namespace) -> int:
-    failures = args.failures or _default_failures(args.exchange)
-    if args.exchange in SBA_EXCHANGES:
-        model = build_sba_model(
-            args.exchange, num_agents=args.agents, max_faulty=args.faulty,
-            num_values=args.values, failures=failures,
-        )
-        result = synthesize_sba(model, engine=args.engine)
-        print(f"Synthesized SBA conditions for {args.exchange} "
-              f"(n={args.agents}, t={args.faulty}, {failures} failures, "
-              f"{args.engine} engine):")
-        print(result.conditions.describe(method=args.minimise))
-    elif args.exchange in EBA_EXCHANGES:
-        model = build_eba_model(
-            args.exchange, num_agents=args.agents, max_faulty=args.faulty,
-            failures=failures,
-        )
-        result = synthesize_eba(model, engine=args.engine)
-        print(f"Synthesized EBA conditions for {args.exchange} "
-              f"(n={args.agents}, t={args.faulty}, {failures} failures, "
-              f"{args.engine} engine, {result.iterations} iterations, "
-              f"converged={result.converged}):")
-        print(result.conditions.describe(method=args.minimise))
-    else:
-        print(f"unknown exchange {args.exchange!r}", file=sys.stderr)
+    try:
+        scenario = _scenario_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
+    session = Session()
+    result = session.synthesis_artifact(scenario)
+    if scenario.family == "sba":
+        print(f"Synthesized SBA conditions for {scenario.exchange} "
+              f"(n={scenario.num_agents}, t={scenario.max_faulty}, "
+              f"{scenario.failures} failures, {scenario.engine} engine):")
+    else:
+        print(f"Synthesized EBA conditions for {scenario.exchange} "
+              f"(n={scenario.num_agents}, t={scenario.max_faulty}, "
+              f"{scenario.failures} failures, {scenario.engine} engine, "
+              f"{result.iterations} iterations, "
+              f"converged={result.converged}):")
+    print(result.conditions.describe(method=args.minimise))
     return 0
 
 
 def _check_command(args: argparse.Namespace) -> int:
-    task = "eba-model-check" if args.exchange in EBA_EXCHANGES else "sba-model-check"
-    params = {
-        "exchange": args.exchange,
-        "num_agents": args.agents,
-        "max_faulty": args.faulty,
-        "failures": args.failures or _default_failures(args.exchange),
-        "engine": args.engine,
-    }
-    if task == "sba-model-check":
-        params["num_values"] = args.values
-        params["optimal_protocol"] = args.optimal
+    try:
+        scenario = _scenario_from_args(args)
+        task = scenario.check_task()
+        params = scenario.to_params(task)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # The forked runner keeps the paper's per-run wall-clock budget
+    # enforceable; the cell parameters are the scenario's canonical form.
     outcome = run_case(task, params, timeout=args.timeout)
     print(f"result: {outcome.cell()}")
     if outcome.result is not None:
@@ -210,6 +217,18 @@ def _check_command(args: argparse.Namespace) -> int:
         print(outcome.error, file=sys.stderr)
         return 1
     return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    if args.cache_size < 1:
+        print("--cache-size must be at least 1", file=sys.stderr)
+        return 2
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        verbose=not args.quiet,
+    )
 
 
 def _add_failures_argument(parser: argparse.ArgumentParser) -> None:
@@ -283,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check the optimal (revised) literature protocol")
     check.add_argument("--timeout", type=float, default=600.0)
     check.set_defaults(func=_check_command)
+
+    srv = subparsers.add_parser(
+        "serve", help="run the JSON-over-HTTP query service on a shared session"
+    )
+    srv.add_argument("--host", default=DEFAULT_HOST,
+                     help=f"bind address (default {DEFAULT_HOST})")
+    srv.add_argument("--port", type=int, default=DEFAULT_PORT,
+                     help=f"bind port (default {DEFAULT_PORT}; 0 picks a free port)")
+    srv.add_argument("--cache-size", type=int, default=64,
+                     help="bound on the shared session's artefact cache "
+                          "(default 64 entries)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="do not log individual requests")
+    srv.set_defaults(func=_serve_command)
 
     return parser
 

@@ -133,9 +133,12 @@ def minimise(
 
     # Coverage bookkeeping on packed bitmasks: bit p of a coverage mask stands
     # for on-set minterm on_set[p], so subset/overlap tests on the greedy
-    # cover are single integer operations.
+    # cover are single integer operations.  The primes are iterated in sorted
+    # order because greedy ties below break by iteration position: implicants
+    # contain ``None``, whose hash is id-based before Python 3.12, so raw set
+    # order — and hence the chosen cover — would vary from process to process.
     coverage: Dict[Implicant, int] = {}
-    for prime in primes:
+    for prime in sorted(primes, key=_implicant_sort_key):
         covered = 0
         for position, term in enumerate(on_set):
             if implicant_covers_index(prime, term, num_variables):

@@ -80,8 +80,14 @@ class ObservationPredicate:
         return names, truth_table_minimise(table, method=method)
 
     def _boolean_table(self) -> Tuple[List[str], Dict[Tuple[bool, ...], bool]]:
+        # The observation table is sorted before minimisation: ``reachable``
+        # is a frozenset of tuples that usually contain strings, so its
+        # iteration order varies with PYTHONHASHSEED, and the minimisers'
+        # covers depend on the order rows are presented.  Sorting makes
+        # ``describe()`` byte-identical across processes and hash seeds.
+        ordered = sorted(self.reachable, key=repr)
         feature_values: Dict[str, set] = {}
-        for observation in self.reachable:
+        for observation in ordered:
             for feature, value in self.features_of[observation].items():
                 feature_values.setdefault(feature, set()).add(value)
 
@@ -98,7 +104,7 @@ class ObservationPredicate:
                     encoders.append((feature, value))
 
         table: Dict[Tuple[bool, ...], bool] = {}
-        for observation in self.reachable:
+        for observation in ordered:
             features = self.features_of[observation]
             assignment = tuple(
                 bool(features[feature] == expected) if expected is not True

@@ -1,17 +1,21 @@
-"""Convenience constructors for the models and checkers studied in the paper."""
+"""Deprecated convenience constructors (thin shims over :mod:`repro.api`).
+
+This module was the original loose-kwargs public surface.  The facade in
+:mod:`repro.api` replaced it: build a validated
+:class:`~repro.api.Scenario` and query a :class:`~repro.api.Session` (or
+call :func:`repro.api.build_model` for the bare model).  The constructors
+here remain as behaviour-identical shims that emit ``DeprecationWarning``;
+they will be removed once nothing imports them.
+"""
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api import EBA_EXCHANGES, SBA_EXCHANGES, Scenario, build_model
 from repro.engines import DEFAULT_ENGINE, ENGINES, checker_for, validate_engine
-from repro.exchanges import exchange_by_name
-from repro.failures import failure_model_by_name
 from repro.systems.model import BAModel
 from repro.systems.space import LevelledSpace
-
-#: Exchanges usable for the Simultaneous Byzantine Agreement experiments.
-SBA_EXCHANGES = ("floodset", "count", "diff", "dwork-moses")
-#: Exchanges usable for the Eventual Byzantine Agreement experiments.
-EBA_EXCHANGES = ("emin", "ebasic")
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -26,14 +30,21 @@ __all__ = [
 ]
 
 
-def build_checker(space: LevelledSpace, engine: str = DEFAULT_ENGINE):
-    """A satisfaction checker over a built space for a named engine.
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.factory.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    ``engine`` is one of :data:`repro.engines.ENGINES` (``bitset`` — the
-    explicit packed-bitset engine, the default; ``symbolic`` — the BDD
-    backend; ``set`` — the reference oracle).  Unknown names raise
+
+def build_checker(space: LevelledSpace, engine: str = DEFAULT_ENGINE):
+    """Deprecated: use :func:`repro.engines.checker_for` (or a Session).
+
+    ``engine`` is one of :data:`repro.engines.ENGINES`; unknown names raise
     ``ValueError`` listing the known engines.
     """
+    _deprecated("build_checker", "repro.engines.checker_for or repro.api.Session")
     return checker_for(space, engine)
 
 
@@ -44,18 +55,25 @@ def build_sba_model(
     num_values: int = 2,
     failures: str = "crash",
 ) -> BAModel:
-    """Build an SBA model for a named exchange and failure model.
+    """Deprecated: use ``repro.api.build_model(Scenario(...))``.
 
     Parameters mirror the paper's experiments: ``exchange`` is one of
     ``floodset``, ``count``, ``diff`` or ``dwork-moses``; ``failures`` is one
     of ``crash``, ``sending``, ``receiving`` or ``general``; the number of
     decision values defaults to 2 as in Tables 1 and 2.
     """
+    _deprecated("build_sba_model", "repro.api.build_model(Scenario(...))")
     if exchange not in SBA_EXCHANGES:
         raise ValueError(f"{exchange!r} is not an SBA exchange (expected one of {SBA_EXCHANGES})")
-    exchange_obj = exchange_by_name(exchange, num_agents, num_values, max_faulty)
-    failures_obj = failure_model_by_name(failures, num_agents, max_faulty)
-    return BAModel(exchange_obj, failures_obj)
+    return build_model(
+        Scenario(
+            exchange=exchange,
+            num_agents=num_agents,
+            max_faulty=max_faulty,
+            num_values=num_values,
+            failures=failures,
+        )
+    )
 
 
 def build_eba_model(
@@ -64,15 +82,21 @@ def build_eba_model(
     max_faulty: int,
     failures: str = "sending",
 ) -> BAModel:
-    """Build an EBA model for a named exchange and failure model.
+    """Deprecated: use ``repro.api.build_model(Scenario(...))``.
 
     ``exchange`` is ``emin`` or ``ebasic``; the value domain is fixed to
     ``{0, 1}`` as in the paper.  The optimality result for ``P0`` applies to
     the sending-omissions model (which subsumes crash failures), so that is
     the default failure model; ``crash`` matches the other half of Table 3.
     """
+    _deprecated("build_eba_model", "repro.api.build_model(Scenario(...))")
     if exchange not in EBA_EXCHANGES:
         raise ValueError(f"{exchange!r} is not an EBA exchange (expected one of {EBA_EXCHANGES})")
-    exchange_obj = exchange_by_name(exchange, num_agents, 2, max_faulty)
-    failures_obj = failure_model_by_name(failures, num_agents, max_faulty)
-    return BAModel(exchange_obj, failures_obj)
+    return build_model(
+        Scenario(
+            exchange=exchange,
+            num_agents=num_agents,
+            max_faulty=max_faulty,
+            failures=failures,
+        )
+    )

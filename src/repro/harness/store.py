@@ -25,6 +25,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.api import Scenario
 from repro.harness.runner import CaseOutcome
 
 #: A resolved cell: (row key, column label, task name, task parameters).
@@ -32,12 +33,22 @@ ResolvedCell = Tuple[Tuple, str, str, Dict[str, object]]
 
 
 def canonical_key(task: str, params: Dict[str, object]) -> str:
-    """The store key for a cell: canonical JSON of the task and its params.
+    """The store key for a cell: the :class:`~repro.api.Scenario` canonical form.
 
-    Parameter order is irrelevant (keys are sorted) so the same cell always
-    maps to the same key, whatever order a spec builds its dict in.
+    Parameters that map onto a scenario are normalised through
+    ``Scenario.from_task_params`` → :meth:`Scenario.cell_key`, so two
+    parameter dictionaries that mean the same configuration — whatever
+    defaults they spell out and in whatever order — always produce the same
+    key.  This is also the migration path for pre-redesign journals: their
+    keys are recomputed through the same normalisation on load, so a journal
+    whose cells spelled ``num_values=2`` or ``failures="crash"`` explicitly
+    resumes against a sweep that omits them.  Unknown tasks (tests, forks)
+    fall back to plain canonical JSON of the raw parameters.
     """
-    return json.dumps([task, params], sort_keys=True, separators=(",", ":"))
+    try:
+        return Scenario.from_task_params(task, params).cell_key(task)
+    except (TypeError, ValueError):
+        return json.dumps([task, params], sort_keys=True, separators=(",", ":"))
 
 
 def outcome_to_record(outcome: CaseOutcome) -> Dict[str, object]:
@@ -98,8 +109,12 @@ class ResultStore:
                 ) from exc
             kind = record.get("kind")
             if kind == "outcome":
-                self.outcomes[record["key"]] = outcome_from_record(record)
-                self.budgets[record["key"]] = record.get("timeout")
+                # Keys are recomputed (not trusted from the record) so journals
+                # written before the Scenario normalisation migrate on read:
+                # their cells re-key to the same canonical form new lookups use.
+                key = canonical_key(record["task"], record["params"])
+                self.outcomes[key] = outcome_from_record(record)
+                self.budgets[key] = record.get("timeout")
             elif kind == "spec":
                 self._spec_record = record
 
@@ -118,6 +133,11 @@ class ResultStore:
         therefore falls back to the engine-less key, so old sweeps stay
         resumable; lookups for any other engine never fall back — reusing a
         pre-engine cell under a different backend would silently mix them.
+
+        For scenario tasks the :func:`canonical_key` normalisation already
+        re-keys engine-less parameters to the bitset form (both candidates
+        coincide); the explicit fallback still matters for ad-hoc tasks that
+        key under raw parameter JSON.
         """
         keys = [canonical_key(task, params)]
         if params.get("engine") == "bitset":

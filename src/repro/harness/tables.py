@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_sentinels
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import Scenario, TableCell
 from repro.engines import DEFAULT_ENGINE, validate_engine
 from repro.harness.runner import (
     TERM_GRACE_SECONDS,
@@ -75,10 +76,17 @@ def _resolved_cells(
 ) -> List[Tuple[Tuple, str, str, Dict[str, object]]]:
     """Flatten a spec into (row key, column, task, resolved params) cells.
 
-    The spec's engine is resolved into every cell's parameters, so it is part
-    of the canonical store key: outcomes recorded under one backend are never
-    reused when resuming under another.
+    Every cell is resolved through a validated
+    :class:`~repro.api.Scenario`: the spec's engine and the state budget are
+    merged in, and the scenario's canonical parameter form
+    (:meth:`Scenario.to_params`) becomes the cell's resolved params — so a
+    malformed spec fails before any child forks, the engine is part of every
+    canonical store key (outcomes recorded under one backend are never
+    reused when resuming under another), and two specs that spell the same
+    configuration differently journal under the same key.
     """
+    from repro.api.scenario import TASK_FIELDS
+
     cells = []
     for row_key, row_cells in spec.rows:
         for column, task, params in row_cells:
@@ -86,6 +94,11 @@ def _resolved_cells(
             if max_states is not None and "max_states" not in case_params:
                 case_params["max_states"] = max_states
             case_params.setdefault("engine", spec.engine)
+            if task in TASK_FIELDS:
+                scenario = Scenario.from_task_params(task, case_params)
+                case_params = scenario.to_params(task)
+            # Ad-hoc tasks registered straight into TASKS (tests, forks) keep
+            # their raw parameters; only the scenario tasks are canonicalised.
             cells.append((row_key, column, task, case_params))
     return cells
 
@@ -233,7 +246,12 @@ def render_table(result: TableResult) -> str:
 
 
 def render_json(result: TableResult) -> str:
-    """Render a table result as structured JSON (full outcomes, not just cells)."""
+    """Render a table result as structured JSON (full outcomes, not just cells).
+
+    Each populated cell is a versioned :class:`~repro.api.TableCell` record
+    (``schema_version`` and type tag included), so the export round-trips
+    through :func:`repro.api.result_from_json`.
+    """
     spec = result.spec
     columns = spec.columns()
     rows = []
@@ -244,13 +262,7 @@ def render_json(result: TableResult) -> str:
             if outcome is None:
                 cells[column] = None
                 continue
-            cells[column] = {
-                "cell": outcome.cell(),
-                "seconds": outcome.seconds,
-                "timed_out": outcome.timed_out,
-                "error": outcome.error,
-                "result": outcome.result,
-            }
+            cells[column] = TableCell.from_outcome(column, outcome).to_json()
         rows.append({"key": list(row_key), "cells": cells})
     return json.dumps(
         {

@@ -2,44 +2,26 @@
 
 Every task is a module-level function taking plain keyword arguments and
 returning a small JSON-like dictionary, so it can be executed in a separate
-process by :mod:`repro.harness.runner`.  The returned dictionaries include
-enough qualitative information (spec results, optimality verdicts, state
-counts) to be checked by the integration tests, not just timed.
+process by :mod:`repro.harness.runner`.  Since the API redesign the tasks are
+thin shims over the :mod:`repro.api` facade: each one builds a validated
+:class:`~repro.api.Scenario` from its keyword arguments (via
+``Scenario.from_task_params``, which is also what canonicalises the store
+keys) and runs the corresponding typed query through a fresh
+:class:`~repro.api.Session`.  A task gets a *fresh* session on purpose: grid
+cells run in forked children anyway, and the in-process runs the benchmarks
+use must measure real construction cost, not a warm cache.  Long-lived
+callers that want amortisation (the CLI one-shots, ``repro serve``) hold a
+session of their own.
+The returned dictionaries are the typed results' legacy ``to_dict`` form,
+byte-compatible with pre-redesign result journals.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.synthesis import synthesize_eba, synthesize_sba
-from repro.engines import DEFAULT_ENGINE, checker_for, validate_engine
-from repro.factory import build_eba_model, build_sba_model
-from repro.kbp.implementation import verify_sba_implementation
-from repro.protocols.eba import EBasicProtocol, EMinProtocol
-from repro.protocols.sba import (
-    CountConditionProtocol,
-    DworkMosesProtocol,
-    FloodSetRevisedProtocol,
-    FloodSetStandardProtocol,
-)
-from repro.spec.eba import eba_spec_formulas
-from repro.spec.sba import sba_spec_formulas
-from repro.systems.space import build_space
-
-
-def _sba_protocol(exchange: str, num_agents: int, max_faulty: int, optimal: bool):
-    """The literature protocol used for model checking a given exchange."""
-    if exchange == "floodset":
-        if optimal:
-            return FloodSetRevisedProtocol(num_agents, max_faulty)
-        return FloodSetStandardProtocol(num_agents, max_faulty)
-    if exchange in ("count", "diff"):
-        if optimal:
-            return CountConditionProtocol(num_agents, max_faulty)
-        return FloodSetStandardProtocol(num_agents, max_faulty)
-    if exchange == "dwork-moses":
-        return DworkMosesProtocol(num_agents, max_faulty)
-    raise ValueError(f"no literature protocol for exchange {exchange!r}")
+from repro.api import Scenario, Session
+from repro.engines import DEFAULT_ENGINE
 
 
 def sba_model_check_task(
@@ -60,41 +42,16 @@ def sba_model_check_task(
     checked, and the protocol's decisions are compared against the knowledge
     condition ``B^N_i CB_N ∃v`` at every point (the optimality check).
     """
-    validate_engine(engine)
-    model = build_sba_model(
-        exchange, num_agents=num_agents, max_faulty=max_faulty,
-        num_values=num_values, failures=failures,
+    scenario = Scenario.from_task_params(
+        "sba-model-check",
+        dict(
+            exchange=exchange, num_agents=num_agents, max_faulty=max_faulty,
+            num_values=num_values, failures=failures, rounds=rounds,
+            optimal_protocol=optimal_protocol, max_states=max_states,
+            engine=engine,
+        ),
     )
-    horizon = rounds if rounds is not None else model.default_horizon()
-    protocol = _sba_protocol(exchange, num_agents, max_faulty, optimal_protocol)
-    space = build_space(model, protocol, horizon=horizon, max_states=max_states)
-
-    checker = checker_for(space, engine)
-    spec_results = {
-        name: checker.holds_initially(formula)
-        for name, formula in sba_spec_formulas(model, horizon).items()
-    }
-    # The verifier shares the checker's engine state (one symbolic encoder
-    # per task, not one for the spec formulas and another for the guards).
-    report = verify_sba_implementation(
-        model, protocol, space=space, engine=engine, checker=checker
-    )
-    return {
-        "task": "sba-model-check",
-        "engine": engine,
-        "exchange": exchange,
-        "failures": failures,
-        "n": num_agents,
-        "t": max_faulty,
-        "rounds": horizon,
-        "protocol": protocol.name,
-        "states": space.num_states(),
-        "spec": spec_results,
-        "implementation_ok": report.ok,
-        "optimal": report.is_optimal,
-        "sound": report.is_sound,
-        "late_points": len(report.late_mismatches()),
-    }
+    return Session().check(scenario).to_dict()
 
 
 def sba_temporal_only_task(
@@ -112,28 +69,15 @@ def sba_temporal_only_task(
     the temporal specification alone (no knowledge or common-belief
     operators) scales considerably better.
     """
-    validate_engine(engine)
-    model = build_sba_model(
-        exchange, num_agents=num_agents, max_faulty=max_faulty,
-        num_values=num_values, failures=failures,
+    scenario = Scenario.from_task_params(
+        "sba-temporal-only",
+        dict(
+            exchange=exchange, num_agents=num_agents, max_faulty=max_faulty,
+            num_values=num_values, failures=failures, max_states=max_states,
+            engine=engine,
+        ),
     )
-    horizon = model.default_horizon()
-    protocol = _sba_protocol(exchange, num_agents, max_faulty, optimal=False)
-    space = build_space(model, protocol, horizon=horizon, max_states=max_states)
-    checker = checker_for(space, engine)
-    spec_results = {
-        name: checker.holds_initially(formula)
-        for name, formula in sba_spec_formulas(model, horizon).items()
-    }
-    return {
-        "task": "sba-temporal-only",
-        "engine": engine,
-        "exchange": exchange,
-        "n": num_agents,
-        "t": max_faulty,
-        "states": space.num_states(),
-        "spec": spec_results,
-    }
+    return Session().check_temporal(scenario).to_dict()
 
 
 def sba_synthesis_task(
@@ -147,30 +91,15 @@ def sba_synthesis_task(
     engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Synthesize the optimal SBA protocol for an exchange and failure model."""
-    model = build_sba_model(
-        exchange, num_agents=num_agents, max_faulty=max_faulty,
-        num_values=num_values, failures=failures,
+    scenario = Scenario.from_task_params(
+        "sba-synthesis",
+        dict(
+            exchange=exchange, num_agents=num_agents, max_faulty=max_faulty,
+            num_values=num_values, failures=failures, rounds=rounds,
+            max_states=max_states, engine=engine,
+        ),
     )
-    result = synthesize_sba(model, horizon=rounds, max_states=max_states, engine=engine)
-    earliest = None
-    for time in range(result.space.horizon + 1):
-        if any(
-            not result.conditions.get(agent, time, value).always_false()
-            for agent in model.agents()
-            for value in model.values()
-        ):
-            earliest = time
-            break
-    return {
-        "task": "sba-synthesis",
-        "engine": engine,
-        "exchange": exchange,
-        "failures": failures,
-        "n": num_agents,
-        "t": max_faulty,
-        "states": result.space.num_states(),
-        "earliest_condition_time": earliest,
-    }
+    return Session().synthesize(scenario).to_dict()
 
 
 def eba_synthesis_task(
@@ -182,21 +111,14 @@ def eba_synthesis_task(
     engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Synthesize an implementation of ``P0`` for an EBA exchange."""
-    model = build_eba_model(
-        exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+    scenario = Scenario.from_task_params(
+        "eba-synthesis",
+        dict(
+            exchange=exchange, num_agents=num_agents, max_faulty=max_faulty,
+            failures=failures, max_states=max_states, engine=engine,
+        ),
     )
-    result = synthesize_eba(model, max_states=max_states, engine=engine)
-    return {
-        "task": "eba-synthesis",
-        "engine": engine,
-        "exchange": exchange,
-        "failures": failures,
-        "n": num_agents,
-        "t": max_faulty,
-        "states": result.space.num_states(),
-        "iterations": result.iterations,
-        "converged": result.converged,
-    }
+    return Session().synthesize(scenario).to_dict()
 
 
 def eba_model_check_task(
@@ -208,34 +130,14 @@ def eba_model_check_task(
     engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Model check the literature EBA protocol against the EBA specification."""
-    validate_engine(engine)
-    model = build_eba_model(
-        exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+    scenario = Scenario.from_task_params(
+        "eba-model-check",
+        dict(
+            exchange=exchange, num_agents=num_agents, max_faulty=max_faulty,
+            failures=failures, max_states=max_states, engine=engine,
+        ),
     )
-    if exchange == "emin":
-        protocol = EMinProtocol(num_agents, max_faulty)
-    elif exchange == "ebasic":
-        protocol = EBasicProtocol(num_agents, max_faulty)
-    else:
-        raise ValueError(f"unknown EBA exchange {exchange!r}")
-    horizon = model.default_horizon()
-    space = build_space(model, protocol, horizon=horizon, max_states=max_states)
-    checker = checker_for(space, engine)
-    spec_results = {
-        name: checker.holds_initially(formula)
-        for name, formula in eba_spec_formulas(model, horizon).items()
-    }
-    return {
-        "task": "eba-model-check",
-        "engine": engine,
-        "exchange": exchange,
-        "failures": failures,
-        "n": num_agents,
-        "t": max_faulty,
-        "protocol": protocol.name,
-        "states": space.num_states(),
-        "spec": spec_results,
-    }
+    return Session().check(scenario).to_dict()
 
 
 #: Registry used by the subprocess runner (names must be stable).

@@ -8,8 +8,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.core.synthesis import synthesize_eba, synthesize_sba
+
+
+def _model(exchange, num_agents, max_faulty, failures=None):
+    return build_model(Scenario(exchange=exchange, num_agents=num_agents,
+                                max_faulty=max_faulty, failures=failures))
 
 
 def pytest_configure(config):
@@ -23,19 +28,19 @@ def pytest_configure(config):
 @pytest.fixture(scope="session")
 def floodset_3_1_model():
     """FloodSet, crash failures, n=3, t=1 (the paper's appendix instance)."""
-    return build_sba_model("floodset", num_agents=3, max_faulty=1)
+    return _model("floodset", 3, 1)
 
 
 @pytest.fixture(scope="session")
 def floodset_3_2_model():
     """FloodSet, crash failures, n=3, t=2 (the early-stopping counterexample)."""
-    return build_sba_model("floodset", num_agents=3, max_faulty=2)
+    return _model("floodset", 3, 2)
 
 
 @pytest.fixture(scope="session")
 def count_3_2_model():
     """Count-FloodSet, crash failures, n=3, t=2."""
-    return build_sba_model("count", num_agents=3, max_faulty=2)
+    return _model("count", 3, 2)
 
 
 @pytest.fixture(scope="session")
@@ -59,13 +64,13 @@ def count_3_2_synthesis(count_3_2_model):
 @pytest.fixture(scope="session")
 def emin_3_1_model():
     """E_min, sending omissions, n=3, t=1."""
-    return build_eba_model("emin", num_agents=3, max_faulty=1, failures="sending")
+    return _model("emin", 3, 1, failures="sending")
 
 
 @pytest.fixture(scope="session")
 def ebasic_3_1_model():
     """E_basic, sending omissions, n=3, t=1."""
-    return build_eba_model("ebasic", num_agents=3, max_faulty=1, failures="sending")
+    return _model("ebasic", 3, 1, failures="sending")
 
 
 @pytest.fixture(scope="session")

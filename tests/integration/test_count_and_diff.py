@@ -14,7 +14,7 @@ from repro.analysis import (
     count_condition_hypothesis,
 )
 from repro.core.synthesis import synthesize_sba
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.kbp import verify_sba_implementation
 from repro.protocols import CountConditionProtocol, FloodSetStandardProtocol
 
@@ -40,7 +40,7 @@ class TestCountEarlyExit:
 
     @pytest.mark.parametrize("num_agents,max_faulty", [(2, 1), (3, 1), (3, 2), (3, 3)])
     def test_condition_three_across_instances(self, num_agents, max_faulty):
-        model = build_sba_model("count", num_agents=num_agents, max_faulty=max_faulty)
+        model = build_model(Scenario(exchange="count", num_agents=num_agents, max_faulty=max_faulty))
         result = synthesize_sba(model)
         for value in range(2):
             hypothesis = count_condition_hypothesis(num_agents, max_faulty, value)
@@ -62,15 +62,15 @@ class TestCountEarlyExit:
 class TestDiffNoImprovement:
     @pytest.mark.parametrize("num_agents,max_faulty", [(2, 1), (2, 2), (3, 1), (3, 2)])
     def test_diff_condition_projects_onto_count_condition(self, num_agents, max_faulty):
-        diff_model = build_sba_model("diff", num_agents=num_agents, max_faulty=max_faulty)
-        count_model = build_sba_model(
-            "count", num_agents=num_agents, max_faulty=max_faulty
+        diff_model = build_model(Scenario(exchange="diff", num_agents=num_agents, max_faulty=max_faulty))
+        count_model = build_model(
+            Scenario(exchange="count", num_agents=num_agents, max_faulty=max_faulty)
         )
         diff_result = synthesize_sba(diff_model)
         count_result = synthesize_sba(count_model)
         assert check_diff_no_improvement(diff_result, count_result)
 
     def test_diff_early_exit_protocol_remains_optimal(self):
-        model = build_sba_model("diff", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="diff", num_agents=3, max_faulty=2))
         report = verify_sba_implementation(model, CountConditionProtocol(3, 2))
         assert report.ok, report.summary()

@@ -1,0 +1,65 @@
+"""Regression: synthesized-condition rendering is PYTHONHASHSEED-independent.
+
+``ObservationPredicate.describe()`` used to emit different (logically
+equivalent) minimised covers across processes: the observation table is a
+frozenset of tuples that contain strings, so its iteration order varies with
+the interpreter's hash seed, and (before Python 3.12) the Quine–McCluskey
+prime set contains ``None``, whose hash is id-based — e.g. the ROADMAP
+repro, emin n=3 t=2 decide0 at time 1: ``jd=0`` vs ``~jd=None``.  The fix
+sorts the observation table before minimisation and iterates the prime
+implicants in sorted order; this test pins it by comparing the full rendered
+condition table across subprocesses running under different fixed seeds.
+"""
+
+import os
+import subprocess
+import sys
+
+#: One SBA and one EBA configuration; emin n=3 t=2 is the ROADMAP repro.
+PROGRAM = """
+from repro.api import Scenario, Session
+
+session = Session()
+for kwargs in (
+    dict(exchange="emin", num_agents=3, max_faulty=2),
+    dict(exchange="floodset", num_agents=3, max_faulty=2),
+):
+    artifact = session.synthesis_artifact(Scenario(**kwargs))
+    print(artifact.conditions.describe())
+"""
+
+
+def _render_under_seed(seed: str) -> str:
+    import repro
+
+    # The subprocess must import the same repro package as this test run,
+    # whatever PYTHONPATH the runner was started with.
+    package_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else os.pathsep.join((package_root, existing))
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", PROGRAM],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_describe_is_byte_identical_across_hash_seeds():
+    rendered = {seed: _render_under_seed(seed) for seed in ("0", "1")}
+    assert rendered["0"], "subprocess produced no conditions"
+    assert rendered["0"] == rendered["1"], (
+        "describe() output depends on PYTHONHASHSEED:\n"
+        + "\n".join(
+            f"seed 0: {a!r}\nseed 1: {b!r}"
+            for a, b in zip(rendered["0"].splitlines(), rendered["1"].splitlines())
+            if a != b
+        )
+    )

@@ -11,7 +11,7 @@ possible with respect to that exchange.
 import pytest
 
 from repro.core.checker import ModelChecker
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.kbp import verify_sba_implementation
 from repro.protocols import DworkMosesProtocol
 from repro.spec.sba import check_sba_run, sba_spec_formulas
@@ -22,7 +22,7 @@ from repro.systems.space import build_space
 @pytest.fixture(scope="module", params=[(2, 1), (3, 1), (3, 2)])
 def dwork_moses_case(request):
     num_agents, max_faulty = request.param
-    model = build_sba_model("dwork-moses", num_agents=num_agents, max_faulty=max_faulty)
+    model = build_model(Scenario(exchange="dwork-moses", num_agents=num_agents, max_faulty=max_faulty))
     protocol = DworkMosesProtocol(num_agents, max_faulty)
     space = build_space(model, protocol)
     return model, protocol, space
@@ -56,7 +56,7 @@ class TestDworkMosesCorrectness:
 
 class TestDworkMosesBehaviour:
     def test_failure_free_run_decides_at_t_plus_one(self):
-        model = build_sba_model("dwork-moses", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="dwork-moses", num_agents=3, max_faulty=2))
         protocol = DworkMosesProtocol(3, 2)
         run = simulate_run(model, protocol, (1, 1, 0), CrashAdversary())
         assert all(run.decision_time(agent) == 3 for agent in range(3))
@@ -67,7 +67,7 @@ class TestDworkMosesBehaviour:
         # are discovered in a single round, so one of them is wasted
         # (waste = 2 - 1 = 1) and the survivor may decide at t + 1 - 1 = 2,
         # one round earlier than the failure-free time t + 1 = 3.
-        model = build_sba_model("dwork-moses", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="dwork-moses", num_agents=3, max_faulty=2))
         protocol = DworkMosesProtocol(3, 2)
         adversary = CrashAdversary(
             crashes={1: (1, frozenset()), 2: (1, frozenset())}
@@ -85,7 +85,7 @@ class TestDworkMosesBehaviour:
         # round 1, so it must count towards d_1 for the receiver too —
         # otherwise agent 2 computes waste 0 and decides a round after
         # agent 1, violating simultaneity.
-        model = build_sba_model("dwork-moses", num_agents=4, max_faulty=2)
+        model = build_model(Scenario(exchange="dwork-moses", num_agents=4, max_faulty=2))
         protocol = DworkMosesProtocol(4, 2)
         adversary = CrashAdversary(
             crashes={3: (1, frozenset({2})), 0: (1, frozenset({2, 3}))}
@@ -101,7 +101,7 @@ class TestDworkMosesBehaviour:
         # earlier decisions (the exchange's failure sets carry more information
         # than the waste summary); the verification reports this as late
         # decision points rather than unsound ones.
-        model = build_sba_model("dwork-moses", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="dwork-moses", num_agents=3, max_faulty=2))
         report = verify_sba_implementation(model, DworkMosesProtocol(3, 2))
         assert report.is_sound
         assert isinstance(report.is_optimal, bool)

@@ -9,8 +9,7 @@ for the sending-omissions model (which subsumes crash failures), and the
 import pytest
 
 from repro.core.checker import ModelChecker
-from repro.core.synthesis import synthesize_eba
-from repro.factory import build_eba_model
+from repro.api import Scenario, build_model
 from repro.kbp import verify_eba_implementation
 from repro.protocols import EBasicProtocol, EMinProtocol
 from repro.spec.eba import check_eba_run, eba_spec_formulas
@@ -34,8 +33,8 @@ def _protocol_for(exchange: str, num_agents: int, max_faulty: int):
 @pytest.mark.parametrize("num_agents,max_faulty", [(2, 1), (3, 1), (3, 2)])
 class TestLiteratureProtocolsSatisfyEBA:
     def test_spec_formulas_hold(self, exchange, failures, num_agents, max_faulty):
-        model = build_eba_model(
-            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        model = build_model(
+            Scenario(exchange=exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures)
         )
         protocol = _protocol_for(exchange, num_agents, max_faulty)
         space = build_space(model, protocol)
@@ -44,8 +43,8 @@ class TestLiteratureProtocolsSatisfyEBA:
             assert checker.holds_initially(formula), (exchange, failures, name)
 
     def test_decisions_are_sound_for_p0(self, exchange, failures, num_agents, max_faulty):
-        model = build_eba_model(
-            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        model = build_model(
+            Scenario(exchange=exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures)
         )
         protocol = _protocol_for(exchange, num_agents, max_faulty)
         report = verify_eba_implementation(model, protocol)
@@ -58,7 +57,7 @@ class TestExactImplementationInstances:
     @pytest.mark.parametrize("exchange", ["emin", "ebasic"])
     @pytest.mark.parametrize("failures", ["crash", "sending"])
     def test_n3_t1_is_exact(self, exchange, failures):
-        model = build_eba_model(exchange, num_agents=3, max_faulty=1, failures=failures)
+        model = build_model(Scenario(exchange=exchange, num_agents=3, max_faulty=1, failures=failures))
         protocol = _protocol_for(exchange, 3, 1)
         report = verify_eba_implementation(model, protocol)
         assert report.ok, report.summary()
@@ -66,7 +65,7 @@ class TestExactImplementationInstances:
 
 class TestRunLevelBehaviour:
     def test_zero_propagates_through_decisions(self):
-        model = build_eba_model("emin", num_agents=3, max_faulty=1, failures="sending")
+        model = build_model(Scenario(exchange="emin", num_agents=3, max_faulty=1, failures="sending"))
         protocol = EMinProtocol(3, 1)
         adversary = OmissionAdversary(faulty=frozenset(), omitted=frozenset())
         run = simulate_run(model, protocol, (1, 0, 1), adversary)
@@ -75,9 +74,9 @@ class TestRunLevelBehaviour:
         assert run.decision_time(0) == 1  # the others follow one round later
 
     def test_all_ones_ebasic_decides_earlier_than_emin(self):
-        emin_model = build_eba_model("emin", num_agents=3, max_faulty=2, failures="sending")
-        ebasic_model = build_eba_model(
-            "ebasic", num_agents=3, max_faulty=2, failures="sending"
+        emin_model = build_model(Scenario(exchange="emin", num_agents=3, max_faulty=2, failures="sending"))
+        ebasic_model = build_model(
+            Scenario(exchange="ebasic", num_agents=3, max_faulty=2, failures="sending")
         )
         adversary = OmissionAdversary()
         emin_run = simulate_run(emin_model, EMinProtocol(3, 2), (1, 1, 1), adversary)
@@ -88,7 +87,7 @@ class TestRunLevelBehaviour:
 
     @pytest.mark.parametrize("exchange", ["emin", "ebasic"])
     def test_exhaustive_small_omission_runs_are_correct(self, exchange):
-        model = build_eba_model(exchange, num_agents=2, max_faulty=1, failures="sending")
+        model = build_model(Scenario(exchange=exchange, num_agents=2, max_faulty=1, failures="sending"))
         protocol = _protocol_for(exchange, 2, 1)
         horizon = model.default_horizon()
         adversaries = enumerate_omission_adversaries(

@@ -18,7 +18,7 @@ from repro.analysis.earliest import (
     earliest_decision_summary,
 )
 from repro.core.synthesis import synthesize_sba
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.kbp import verify_sba_implementation
 from repro.protocols import FloodSetRevisedProtocol, FloodSetStandardProtocol
 from repro.protocols.sba import floodset_critical_time
@@ -81,7 +81,7 @@ class TestCounterexampleInstance:
 )
 class TestConditionTwoAcrossInstances:
     def test_condition_two_confirmed(self, num_agents, max_faulty):
-        model = build_sba_model("floodset", num_agents=num_agents, max_faulty=max_faulty)
+        model = build_model(Scenario(exchange="floodset", num_agents=num_agents, max_faulty=max_faulty))
         result = synthesize_sba(model)
         for value in range(2):
             hypothesis = floodset_condition_hypothesis(num_agents, max_faulty, value)
@@ -90,7 +90,7 @@ class TestConditionTwoAcrossInstances:
 
     def test_standard_protocol_optimality_matches_theory(self, num_agents, max_faulty):
         """The ``t + 1`` rule is optimal exactly when ``t < n - 1``."""
-        model = build_sba_model("floodset", num_agents=num_agents, max_faulty=max_faulty)
+        model = build_model(Scenario(exchange="floodset", num_agents=num_agents, max_faulty=max_faulty))
         protocol = FloodSetStandardProtocol(num_agents, max_faulty)
         report = verify_sba_implementation(model, protocol)
         assert report.is_sound

@@ -1,0 +1,181 @@
+"""End-to-end tests of the ``repro serve`` JSON-over-HTTP service.
+
+The server runs in-process on an ephemeral port; requests go through
+``urllib`` exactly as the CI service-smoke job issues them.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, result_from_json
+from repro.api.service import make_server
+
+SCENARIO = {"exchange": "floodset", "num_agents": 3, "max_faulty": 1}
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = make_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_health_reports_serving(self, server_url):
+        status, body = _get(server_url + "/health")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["status"] == "serving"
+        assert "cache" in body
+
+    def test_check_returns_a_versioned_result(self, server_url):
+        status, body = _post(server_url + "/check", {"scenario": SCENARIO})
+        assert status == 200 and body["ok"] is True
+        result = body["result"]
+        assert result["schema_version"] == SCHEMA_VERSION
+        assert result["type"] == "check"
+        typed = result_from_json(result)
+        assert typed.task == "sba-model-check"
+        assert typed.spec_ok
+        assert typed.sound is True and typed.implementation_ok is not None
+
+    def test_temporal_check_flag(self, server_url):
+        status, body = _post(server_url + "/check",
+                             {"scenario": SCENARIO, "temporal": True})
+        assert status == 200
+        assert body["result"]["task"] == "sba-temporal-only"
+
+    def test_synthesize_returns_a_versioned_result(self, server_url):
+        status, body = _post(server_url + "/synthesize", {"scenario": SCENARIO})
+        assert status == 200
+        typed = result_from_json(body["result"])
+        assert typed.task == "sba-synthesis"
+        assert typed.earliest_condition_time == 2
+
+    def test_batch_mixes_ops_and_preserves_order(self, server_url):
+        status, body = _post(server_url + "/batch", {"requests": [
+            {"op": "check", "scenario": SCENARIO},
+            {"op": "synthesize",
+             "scenario": {"exchange": "emin", "num_agents": 2, "max_faulty": 1}},
+            {"op": "temporal", "scenario": SCENARIO},
+        ]})
+        assert status == 200
+        tasks = [result_from_json(result).task for result in body["results"]]
+        assert tasks == ["sba-model-check", "eba-synthesis", "sba-temporal-only"]
+
+    def test_repeated_queries_hit_the_session_cache(self, server_url):
+        _, first = _post(server_url + "/check", {"scenario": SCENARIO})
+        _, second = _post(server_url + "/check", {"scenario": SCENARIO})
+        # The repeat builds nothing: no new misses, one more result-cache hit.
+        assert second["cache"]["misses"] == first["cache"]["misses"]
+        assert second["cache"]["hits"] > first["cache"]["hits"]
+
+    def test_stats_endpoint(self, server_url):
+        status, body = _get(server_url + "/stats")
+        assert status == 200
+        assert set(body["cache"]) >= {"hits", "misses", "entries", "max_entries"}
+
+
+class TestErrors:
+    def test_invalid_scenario_is_a_400(self, server_url):
+        status, body = _post(server_url + "/check",
+                             {"scenario": dict(SCENARIO, engine="cudd")})
+        assert status == 400
+        assert body["ok"] is False
+        assert "satisfaction engine" in body["error"]
+
+    def test_unknown_scenario_field_is_a_400(self, server_url):
+        status, body = _post(server_url + "/check",
+                             {"scenario": dict(SCENARIO, bogus=1)})
+        assert status == 400
+        assert "unknown scenario fields" in body["error"]
+
+    def test_missing_scenario_is_a_400(self, server_url):
+        status, body = _post(server_url + "/check", {"nope": 1})
+        assert status == 400
+
+    def test_non_json_body_is_a_400(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/check", data=b"not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_malformed_content_length_is_a_400(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/check", data=b'{"scenario": {}}',
+            headers={"Content-Type": "application/json"})
+        request.add_unredirected_header("Content-Length", "abc")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_endpoint_is_a_404(self, server_url):
+        status, body = _post(server_url + "/minimise", {"scenario": SCENARIO})
+        assert status == 404
+
+    def test_temporal_on_eba_is_a_400(self, server_url):
+        status, body = _post(server_url + "/check", {
+            "scenario": {"exchange": "emin", "num_agents": 2, "max_faulty": 1},
+            "temporal": True,
+        })
+        assert status == 400
+        assert "SBA exchanges only" in body["error"]
+
+    def test_bad_batch_op_is_a_400(self, server_url):
+        status, body = _post(server_url + "/batch", {"requests": [
+            {"op": "explode", "scenario": SCENARIO}]})
+        assert status == 400
+        assert "unknown op" in body["error"]
+
+
+class TestConcurrency:
+    def test_concurrent_repeated_queries_all_answer_from_one_session(self, server_url):
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(_post(server_url + "/check", {"scenario": SCENARIO}))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(results) == 8
+        payloads = [body["result"] for _, body in results]
+        assert all(payload == payloads[0] for payload in payloads)
+        # The shared session answered at least the repeats from cache.
+        final_stats = results[-1][1]["cache"]
+        assert final_stats["hits"] >= 7

@@ -18,7 +18,7 @@ import pytest
 from repro.core.bitset import from_level_sets, to_level_sets
 from repro.core.checker import ModelChecker
 from repro.core.reference import SetChecker
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.logic.atoms import (
     decided,
     decides_now,
@@ -123,7 +123,7 @@ SPACE_GRID = [
 @pytest.fixture(scope="module", params=SPACE_GRID, ids=lambda p: f"{p[0]}-n{p[1]}t{p[2]}")
 def random_space(request):
     exchange, num_agents, max_faulty, with_protocol = request.param
-    model = build_sba_model(exchange, num_agents=num_agents, max_faulty=max_faulty)
+    model = build_model(Scenario(exchange=exchange, num_agents=num_agents, max_faulty=max_faulty))
     rule = FloodSetStandardProtocol(num_agents, max_faulty) if with_protocol else None
     return build_space(model, rule)
 

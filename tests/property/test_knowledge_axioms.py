@@ -16,7 +16,7 @@ hypothesis and evaluated on a small FloodSet space.
 from hypothesis import given, settings, strategies as st
 
 from repro.core.checker import ModelChecker
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.logic.atoms import decided, exists_value, init_is, nonfaulty
 from repro.logic.builders import big_and, big_or, neg
 from repro.logic.formula import (
@@ -28,7 +28,7 @@ from repro.logic.formula import (
 from repro.protocols.sba import FloodSetStandardProtocol
 from repro.systems.space import build_space
 
-_MODEL = build_sba_model("floodset", num_agents=3, max_faulty=2)
+_MODEL = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=2))
 _SPACE = build_space(_MODEL, FloodSetStandardProtocol(3, 2))
 _CHECKER = ModelChecker(_SPACE)
 

@@ -10,7 +10,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.protocols import (
     CountConditionProtocol,
     DworkMosesProtocol,
@@ -24,14 +24,14 @@ from repro.spec.sba import check_sba_run
 from repro.systems.runs import sample_adversary, simulate_run
 
 _SBA_CASES = {
-    (exchange, n, t): build_sba_model(exchange, num_agents=n, max_faulty=t)
+    (exchange, n, t): build_model(Scenario(exchange=exchange, num_agents=n, max_faulty=t))
     for exchange in ("floodset", "count", "dwork-moses")
     for (n, t) in [(3, 1), (3, 2), (4, 2)]
 }
 
 _EBA_CASES = {
-    (exchange, n, t, failures): build_eba_model(
-        exchange, num_agents=n, max_faulty=t, failures=failures
+    (exchange, n, t, failures): build_model(
+        Scenario(exchange=exchange, num_agents=n, max_faulty=t, failures=failures)
     )
     for exchange in ("emin", "ebasic")
     for (n, t) in [(3, 1), (3, 2), (4, 2)]

@@ -31,7 +31,7 @@ from repro.core.synthesis import (
     synthesize_eba,
     synthesize_sba,
 )
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.kbp.implementation import verify_eba_implementation, verify_sba_implementation
 from repro.logic.atoms import (
     decided,
@@ -142,13 +142,13 @@ SPACE_GRID = [
 def _build(param):
     kind, exchange, num_agents, max_faulty, failures, with_protocol = param
     if kind == "sba":
-        model = build_sba_model(
-            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        model = build_model(
+            Scenario(exchange=exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures)
         )
         rule = FloodSetStandardProtocol(num_agents, max_faulty) if with_protocol else None
     else:
-        model = build_eba_model(
-            exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures
+        model = build_model(
+            Scenario(exchange=exchange, num_agents=num_agents, max_faulty=max_faulty, failures=failures)
         )
         protocol_type = EMinProtocol if exchange == "emin" else EBasicProtocol
         rule = protocol_type(num_agents, max_faulty) if with_protocol else None
@@ -264,7 +264,7 @@ EBA_SYNTH_GRID = [
 
 @pytest.mark.parametrize("exchange,n,t,failures", SBA_SYNTH_GRID)
 def test_sba_synthesis_engine_equivalence(exchange, n, t, failures):
-    model = build_sba_model(exchange, num_agents=n, max_faulty=t, failures=failures)
+    model = build_model(Scenario(exchange=exchange, num_agents=n, max_faulty=t, failures=failures))
     results = {
         engine: synthesize_sba(model, engine=engine)
         for engine in ("bitset", "symbolic", "set")
@@ -282,7 +282,7 @@ def test_sba_synthesis_engine_equivalence(exchange, n, t, failures):
 
 @pytest.mark.parametrize("exchange,n,t,failures", EBA_SYNTH_GRID)
 def test_eba_synthesis_engine_equivalence(exchange, n, t, failures):
-    model = build_eba_model(exchange, num_agents=n, max_faulty=t, failures=failures)
+    model = build_model(Scenario(exchange=exchange, num_agents=n, max_faulty=t, failures=failures))
     results = {
         engine: synthesize_eba(model, engine=engine)
         for engine in ("bitset", "symbolic", "set")
@@ -295,7 +295,7 @@ def test_eba_synthesis_engine_equivalence(exchange, n, t, failures):
 
 
 def test_kbp_verification_engine_equivalence():
-    model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+    model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=1))
     protocol = FloodSetStandardProtocol(3, 1)
     space = build_space(model, protocol)
     reports = {
@@ -308,7 +308,7 @@ def test_kbp_verification_engine_equivalence():
         assert report.mismatches == reference.mismatches, engine
         assert report.points_checked == reference.points_checked, engine
 
-    eba_model = build_eba_model("emin", num_agents=2, max_faulty=1)
+    eba_model = build_model(Scenario(exchange="emin", num_agents=2, max_faulty=1))
     eba_protocol = EMinProtocol(2, 1)
     eba_space = build_space(eba_model, eba_protocol)
     eba_reports = {

@@ -1,0 +1,149 @@
+"""Unit tests for the memoising :class:`repro.api.Session` facade."""
+
+import threading
+
+import pytest
+
+from repro.api import Scenario, Session
+from repro.harness.tasks import TASKS
+
+FLOODSET = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+EMIN = Scenario(exchange="emin", num_agents=2, max_faulty=1)
+
+
+class TestQueries:
+    def test_check_matches_the_legacy_task(self):
+        expected = TASKS["sba-model-check"](
+            exchange="floodset", num_agents=3, max_faulty=1)
+        assert Session().check(FLOODSET).to_dict() == expected
+
+    def test_temporal_check_matches_the_legacy_task(self):
+        expected = TASKS["sba-temporal-only"](
+            exchange="floodset", num_agents=3, max_faulty=1)
+        assert Session().check_temporal(FLOODSET).to_dict() == expected
+
+    def test_synthesize_matches_the_legacy_tasks(self):
+        session = Session()
+        sba = TASKS["sba-synthesis"](exchange="floodset", num_agents=3, max_faulty=1)
+        assert session.synthesize(FLOODSET).to_dict() == sba
+        eba = TASKS["eba-synthesis"](exchange="emin", num_agents=2, max_faulty=1)
+        assert session.synthesize(EMIN).to_dict() == eba
+
+    def test_eba_check_dispatches_by_family(self):
+        result = Session().check(EMIN)
+        assert result.task == "eba-model-check"
+        assert result.protocol is not None
+        assert result.spec_ok
+
+    def test_temporal_check_rejects_eba(self):
+        with pytest.raises(ValueError, match="SBA exchanges only"):
+            Session().check_temporal(EMIN)
+
+    def test_query_dispatch_and_unknown_op(self):
+        session = Session()
+        assert session.query("check", FLOODSET) == session.check(FLOODSET)
+        with pytest.raises(ValueError, match="unknown query op"):
+            session.query("minimise", FLOODSET)
+
+    def test_batch_runs_in_order_on_the_shared_cache(self):
+        session = Session()
+        results = session.batch([
+            ("check", FLOODSET),
+            ("synthesize", FLOODSET),
+            ("check", FLOODSET),
+            ("synthesize", EMIN),
+        ])
+        assert [r.task for r in results] == [
+            "sba-model-check", "sba-synthesis", "sba-model-check",
+            "eba-synthesis",
+        ]
+        assert results[0] is results[2]  # second check is a pure cache hit
+
+    def test_synthesis_artifact_is_shared_with_the_summary(self):
+        session = Session()
+        artifact = session.synthesis_artifact(FLOODSET)
+        summary = session.synthesize(FLOODSET)
+        assert artifact is session.synthesis_artifact(FLOODSET)
+        assert summary.states == artifact.space.num_states()
+
+    def test_optimal_flag_is_irrelevant_to_synthesis(self):
+        session = Session()
+        plain = session.synthesize(FLOODSET)
+        flagged = session.synthesize(
+            Scenario(exchange="floodset", num_agents=3, max_faulty=1,
+                     optimal_protocol=True))
+        assert plain is flagged  # normalised to the same cache entry
+
+
+class TestCaching:
+    def test_repeated_queries_hit_the_result_cache(self):
+        session = Session()
+        first = session.check(FLOODSET)
+        misses_after_first = session.stats().misses
+        second = session.check(FLOODSET)
+        assert first is second
+        stats = session.stats()
+        assert stats.misses == misses_after_first
+        assert stats.hits > 0
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_mixed_queries_share_artefacts(self):
+        # A temporal-only check after a full check re-uses model, space and
+        # checker: only the result entry itself is a new miss.
+        session = Session()
+        session.check(FLOODSET)
+        misses_before = session.stats().misses
+        session.check_temporal(FLOODSET)
+        assert session.stats().misses == misses_before + 1
+
+    def test_engines_never_share_checkers(self):
+        session = Session()
+        bitset = session.checker(FLOODSET)
+        symbolic = session.checker(FLOODSET.with_engine("symbolic"))
+        assert type(bitset) is not type(symbolic)
+        # ...but both engines share the one space.
+        assert session.space(FLOODSET) is session.space(
+            FLOODSET.with_engine("symbolic"))
+
+    def test_cache_is_bounded_and_evicts_lru(self):
+        session = Session(max_entries=2)
+        session.model(FLOODSET)
+        session.model(EMIN)
+        session.model(Scenario(exchange="count", num_agents=2, max_faulty=1))
+        stats = session.stats()
+        assert stats.entries <= 2
+        # The first model was evicted: asking again is a miss, not a hit.
+        misses = stats.misses
+        session.model(FLOODSET)
+        assert session.stats().misses == misses + 1
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            Session(max_entries=0)
+
+    def test_clear_drops_artefacts(self):
+        session = Session()
+        session.check(FLOODSET)
+        session.clear()
+        assert session.stats().entries == 0
+
+    def test_stats_to_json_is_serialisable(self):
+        import json
+
+        json.dumps(Session().stats().to_json())
+
+
+class TestThreadSafety:
+    def test_concurrent_identical_queries_build_once(self):
+        session = Session()
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(session.check(FLOODSET)))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        assert all(result is results[0] for result in results)

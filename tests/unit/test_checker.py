@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.checker import ModelChecker
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.logic.atoms import (
     decided,
     decides_now,
@@ -39,7 +39,7 @@ from repro.systems.space import build_space
 @pytest.fixture(scope="module")
 def space():
     """FloodSet n=2, t=1 under the standard protocol (fast, small)."""
-    model = build_sba_model("floodset", num_agents=2, max_faulty=1)
+    model = build_model(Scenario(exchange="floodset", num_agents=2, max_faulty=1))
     return build_space(model, FloodSetStandardProtocol(2, 1))
 
 

@@ -286,3 +286,27 @@ class TestCommands:
                      "--output", str(corrupt)])
         assert code == 2
         assert "corrupt" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.cache_size == 64
+        assert args.quiet is False
+
+    def test_serve_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--cache-size", "8", "--quiet"]
+        )
+        assert (args.host, args.port, args.cache_size, args.quiet) == \
+            ("0.0.0.0", 9000, 8, True)
+
+    def test_serve_rejects_a_nonpositive_cache(self, capsys):
+        code = main(["serve", "--cache-size", "0"])
+        assert code == 2
+        assert "--cache-size" in capsys.readouterr().err

@@ -8,7 +8,8 @@ from repro.core.bitset import from_level_sets
 from repro.core.checker import ModelChecker
 from repro.core.reference import SetChecker
 from repro.engines import ENGINES, check_bits, checker_for, validate_engine
-from repro.factory import build_checker, build_sba_model
+from repro.api import Scenario, build_model
+from repro.factory import build_checker
 from repro.logic.atoms import exists_value, nonfaulty
 from repro.logic.formula import Knows
 from repro.protocols.sba import FloodSetStandardProtocol
@@ -19,7 +20,7 @@ from repro.systems.space import build_space
 
 @pytest.fixture(scope="module")
 def space():
-    model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+    model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=1))
     return build_space(model, FloodSetStandardProtocol(3, 1))
 
 

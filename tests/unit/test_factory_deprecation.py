@@ -1,0 +1,64 @@
+"""The factory constructors survive as deprecation shims over the facade."""
+
+import pytest
+
+from repro.api import Scenario, Session, build_model
+from repro.factory import build_checker, build_eba_model, build_sba_model
+
+
+class TestDeprecationWarnings:
+    def test_build_sba_model_warns(self):
+        with pytest.warns(DeprecationWarning, match="build_sba_model"):
+            build_sba_model("floodset", num_agents=2, max_faulty=1)
+
+    def test_build_eba_model_warns(self):
+        with pytest.warns(DeprecationWarning, match="build_eba_model"):
+            build_eba_model("emin", num_agents=2, max_faulty=1)
+
+    def test_build_checker_warns(self):
+        space = Session().space(
+            Scenario(exchange="floodset", num_agents=2, max_faulty=1))
+        with pytest.warns(DeprecationWarning, match="build_checker"):
+            build_checker(space)
+
+
+class TestBehaviouralEquivalence:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_sba_shim_builds_the_same_model_as_the_facade(self):
+        legacy = build_sba_model("count", num_agents=3, max_faulty=2,
+                                 num_values=2, failures="crash")
+        modern = build_model(Scenario(exchange="count", num_agents=3,
+                                      max_faulty=2))
+        assert type(legacy.exchange) is type(modern.exchange)
+        assert legacy.default_horizon() == modern.default_horizon()
+        assert list(legacy.agents()) == list(modern.agents())
+        assert list(legacy.values()) == list(modern.values())
+        assert sorted(map(repr, legacy.initial_states())) == \
+            sorted(map(repr, modern.initial_states()))
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_eba_shim_builds_the_same_model_as_the_facade(self):
+        legacy = build_eba_model("ebasic", num_agents=2, max_faulty=1,
+                                 failures="sending")
+        modern = build_model(Scenario(exchange="ebasic", num_agents=2,
+                                      max_faulty=1, failures="sending"))
+        assert type(legacy.exchange) is type(modern.exchange)
+        assert type(legacy.failures) is type(modern.failures)
+        assert legacy.default_horizon() == modern.default_horizon()
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_shims_keep_the_legacy_family_errors(self):
+        with pytest.raises(ValueError, match="not an SBA exchange"):
+            build_sba_model("emin", num_agents=2, max_faulty=1)
+        with pytest.raises(ValueError, match="not an EBA exchange"):
+            build_eba_model("floodset", num_agents=2, max_faulty=1)
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_build_checker_matches_checker_for(self):
+        from repro.engines import checker_for
+
+        scenario = Scenario(exchange="floodset", num_agents=2, max_faulty=1)
+        space = Session().space(scenario)
+        assert type(build_checker(space, "set")) is type(checker_for(space, "set"))
+        with pytest.raises(ValueError, match="satisfaction engine"):
+            build_checker(space, "cudd")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.factory import build_sba_model
+from repro.api import Scenario, build_model
 from repro.systems.actions import NOOP
 from repro.systems.model import BAModel, GlobalState
 from repro.systems.space import (
@@ -13,12 +13,12 @@ from repro.systems.space import (
     noop_rule,
 )
 from repro.exchanges import FloodSetExchange
-from repro.failures import CrashFailures, SendingOmissions
+from repro.failures import CrashFailures
 
 
 @pytest.fixture
 def small_model():
-    return build_sba_model("floodset", num_agents=2, max_faulty=1)
+    return build_model(Scenario(exchange="floodset", num_agents=2, max_faulty=1))
 
 
 class TestBAModel:
@@ -36,8 +36,8 @@ class TestBAModel:
         assert votes == {(0, 0), (0, 1), (1, 0), (1, 1)}
 
     def test_initial_states_include_faulty_sets_for_omissions(self):
-        model = build_sba_model(
-            "floodset", num_agents=2, max_faulty=1, failures="sending"
+        model = build_model(
+            Scenario(exchange="floodset", num_agents=2, max_faulty=1, failures="sending")
         )
         states = list(model.initial_states())
         envs = {state.env for state in states}

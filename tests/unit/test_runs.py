@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.protocols.eba import EMinProtocol
 from repro.protocols.sba import FloodSetStandardProtocol
 from repro.systems.runs import (
@@ -61,7 +61,7 @@ class TestOmissionAdversary:
 
 class TestSimulateRun:
     def test_failure_free_floodset_run_decides_at_t_plus_one(self):
-        model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+        model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=1))
         protocol = FloodSetStandardProtocol(3, 1)
         run = simulate_run(model, protocol, (0, 1, 1), CrashAdversary())
         assert all(run.decided(agent) for agent in range(3))
@@ -69,7 +69,7 @@ class TestSimulateRun:
         assert all(run.decision_value(agent) == 0 for agent in range(3))
 
     def test_crashed_agent_stops_participating(self):
-        model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+        model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=1))
         protocol = FloodSetStandardProtocol(3, 1)
         adversary = CrashAdversary(crashes={0: (1, frozenset())})
         run = simulate_run(model, protocol, (0, 1, 1), adversary)
@@ -78,7 +78,7 @@ class TestSimulateRun:
         assert run.decision_value(1) == 1 and run.decision_value(2) == 1
 
     def test_emin_run_under_sending_omissions(self):
-        model = build_eba_model("emin", num_agents=3, max_faulty=1, failures="sending")
+        model = build_model(Scenario(exchange="emin", num_agents=3, max_faulty=1, failures="sending"))
         protocol = EMinProtocol(3, 1)
         adversary = OmissionAdversary(faulty=frozenset({0}), omitted=frozenset())
         run = simulate_run(model, protocol, (0, 1, 1), adversary)
@@ -87,12 +87,12 @@ class TestSimulateRun:
         assert run.decision_value(1) == 0 and run.decision_value(2) == 0
 
     def test_votes_length_is_validated(self):
-        model = build_sba_model("floodset", num_agents=3, max_faulty=1)
+        model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=1))
         with pytest.raises(ValueError):
             simulate_run(model, None, (0, 1), CrashAdversary())
 
     def test_run_records_actions_and_states(self):
-        model = build_sba_model("floodset", num_agents=2, max_faulty=1)
+        model = build_model(Scenario(exchange="floodset", num_agents=2, max_faulty=1))
         protocol = FloodSetStandardProtocol(2, 1)
         run = simulate_run(model, protocol, (1, 1), CrashAdversary())
         assert len(run.states) == model.default_horizon() + 1
@@ -120,7 +120,7 @@ class TestEnumerationAndSampling:
 
     def test_sample_adversary_is_consistent_with_model(self):
         rng = random.Random(7)
-        crash = build_sba_model("floodset", num_agents=4, max_faulty=2)
+        crash = build_model(Scenario(exchange="floodset", num_agents=4, max_faulty=2))
         for _ in range(20):
             adversary = sample_adversary(crash.failures, horizon=4, rng=rng)
             assert isinstance(adversary, CrashAdversary)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.checker import ModelChecker
-from repro.factory import build_eba_model, build_sba_model
+from repro.api import Scenario, build_model
 from repro.protocols import (
     EMinProtocol,
     FloodSetRevisedProtocol,
@@ -27,7 +27,7 @@ from repro.systems.space import build_space
 
 @pytest.fixture(scope="module")
 def floodset_model():
-    return build_sba_model("floodset", num_agents=3, max_faulty=1)
+    return build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=1))
 
 
 class TestSBAFormulas:
@@ -103,14 +103,14 @@ class TestSBARunChecks:
 
 class TestEBASpec:
     def test_emin_satisfies_eba_spec(self):
-        model = build_eba_model("emin", num_agents=2, max_faulty=1, failures="sending")
+        model = build_model(Scenario(exchange="emin", num_agents=2, max_faulty=1, failures="sending"))
         space = build_space(model, EMinProtocol(2, 1))
         checker = ModelChecker(space)
         for name, formula in eba_spec_formulas(model, space.horizon).items():
             assert checker.holds_initially(formula), name
 
     def test_eba_run_check_reports_agreement_violation(self):
-        model = build_eba_model("emin", num_agents=2, max_faulty=1, failures="sending")
+        model = build_model(Scenario(exchange="emin", num_agents=2, max_faulty=1, failures="sending"))
         stubborn = FunctionProtocol(
             lambda agent, local, time: local.init, name="stubborn"
         )
@@ -125,7 +125,7 @@ class TestEBASpec:
 
 class TestOptimalityOrder:
     def test_revised_floodset_dominates_standard(self):
-        model = build_sba_model("floodset", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=2))
         revised = FloodSetRevisedProtocol(3, 2)
         standard = FloodSetStandardProtocol(3, 2)
         adversaries = list(
@@ -137,7 +137,7 @@ class TestOptimalityOrder:
         assert not report.violations()
 
     def test_standard_does_not_dominate_revised(self):
-        model = build_sba_model("floodset", num_agents=3, max_faulty=2)
+        model = build_model(Scenario(exchange="floodset", num_agents=3, max_faulty=2))
         revised = FloodSetRevisedProtocol(3, 2)
         standard = FloodSetStandardProtocol(3, 2)
         adversaries = list(
@@ -148,7 +148,7 @@ class TestOptimalityOrder:
         assert report.violations(limit=3)
 
     def test_comparison_against_itself_is_reflexive(self):
-        model = build_sba_model("floodset", num_agents=2, max_faulty=1)
+        model = build_model(Scenario(exchange="floodset", num_agents=2, max_faulty=1))
         protocol = FloodSetStandardProtocol(2, 1)
         adversaries = enumerate_crash_adversaries(2, 1, model.default_horizon())
         report = compare_protocols(model, protocol, protocol, adversaries)

@@ -319,3 +319,95 @@ class TestRunTableWithStore:
         assert "-" not in render_table(reloaded.load_result()).split(
             "\n", 3
         )[3]
+
+
+class TestScenarioKeyNormalisation:
+    """Store keys normalise through Scenario: same configuration, same key."""
+
+    def test_spelled_out_defaults_share_a_key(self):
+        terse = {"exchange": "floodset", "num_agents": 2, "max_faulty": 1,
+                 "engine": "bitset"}
+        spelled = dict(terse, num_values=2, failures="crash",
+                       optimal_protocol=False)
+        assert canonical_key("sba-model-check", terse) == \
+            canonical_key("sba-model-check", spelled)
+
+    def test_engineless_legacy_params_normalise_to_bitset(self):
+        modern = {"exchange": "emin", "num_agents": 2, "max_faulty": 1,
+                  "engine": "bitset"}
+        legacy = {"exchange": "emin", "num_agents": 2, "max_faulty": 1}
+        assert canonical_key("eba-synthesis", legacy) == \
+            canonical_key("eba-synthesis", modern)
+
+    def test_unknown_tasks_fall_back_to_raw_json(self):
+        key = canonical_key("custom-task", {"y": 2, "x": 1})
+        assert key == '["custom-task",{"x":1,"y":2}]'
+
+    def test_pre_redesign_journal_loads_and_reports(self, tmp_path, capsys):
+        """A journal written by the pre-Scenario harness (explicit default
+        params, pre-normalisation key strings) still resumes and re-renders
+        via ``repro report`` — keys are migrated on read."""
+        from repro.cli import main
+
+        path = tmp_path / "legacy.jsonl"
+        # Key and params exactly as the pre-redesign store wrote them:
+        # failures spelled out even at its default, key not normalised.
+        legacy_params = {"exchange": "emin", "num_agents": 2, "max_faulty": 1,
+                         "failures": "sending", "max_states": 2_000_000,
+                         "engine": "bitset"}
+        raw_key = json.dumps(["eba-synthesis", legacy_params],
+                             sort_keys=True, separators=(",", ":"))
+        spec_record = {
+            "kind": "spec", "name": "table3", "title": "Table 3 (legacy)",
+            "row_header": ["n", "t"], "engine": "bitset",
+            "rows": [{"key": [2, 1], "cells": [
+                {"column": "emin-sending", "task": "eba-synthesis",
+                 "params": legacy_params}]}],
+        }
+        outcome_record = {
+            "kind": "outcome", "key": raw_key, "task": "eba-synthesis",
+            "params": legacy_params, "seconds": 1.5, "timed_out": False,
+            "error": None, "timeout": 60.0,
+            "result": {"task": "eba-synthesis", "states": 56, "iterations": 3,
+                       "converged": True},
+        }
+        path.write_text(json.dumps(spec_record) + "\n"
+                        + json.dumps(outcome_record) + "\n")
+
+        store = ResultStore(path)
+        assert len(store) == 1
+        # Lookup with the modern minimal params (failures omitted) hits.
+        modern = {"exchange": "emin", "num_agents": 2, "max_faulty": 1,
+                  "max_states": 2_000_000, "engine": "bitset"}
+        assert store.get("eba-synthesis", modern).seconds == 1.5
+        assert store.budget_for("eba-synthesis", modern) == 60.0
+
+        # The CLI report renders the legacy journal without re-running.
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3 (legacy)" in out
+        assert "emin-sending" in out
+        assert "1m" not in out.splitlines()[1]  # header row, sanity
+
+    def test_pre_redesign_journal_resumes_against_a_new_sweep(self, tmp_path):
+        """run_table --resume reuses a legacy cell journalled with
+        spelled-out default params under the new Scenario keys."""
+        legacy_params = {"exchange": "emin", "num_agents": 2, "max_faulty": 1,
+                         "failures": "sending", "max_states": 2_000_000,
+                         "engine": "bitset"}
+        legacy = CaseOutcome(
+            task="eba-synthesis", params=legacy_params, seconds=7.25,
+            timed_out=False,
+            result={"task": "eba-synthesis", "states": 56, "iterations": 3,
+                    "converged": True},
+        )
+        store = ResultStore(tmp_path / "legacy.jsonl")
+        store.record(legacy, timeout=60.0)
+
+        from repro.harness.tables import table3_spec
+
+        resumed = run_table(
+            table3_spec(max_n=2, engine="bitset"), timeout=60.0,
+            store=ResultStore(store.path), resume=True, verbose=False,
+        )
+        assert resumed.outcomes[((2, 1), "emin-sending")].seconds == 7.25
