@@ -27,7 +27,14 @@ Quick start::
 JSON HTTP from one long-running shared session.
 """
 
+from repro.api.artefact_store import STORE_FORMAT_VERSION, ArtefactStore
 from repro.api.build import build_model, literature_protocol
+from repro.api.cache import (
+    DEFAULT_MAX_WEIGHT_BYTES,
+    KeyedLocks,
+    WeightedLRU,
+    estimate_weight,
+)
 from repro.api.results import (
     SCHEMA_VERSION,
     CheckResult,
@@ -46,19 +53,25 @@ from repro.api.scenario import (
 from repro.api.session import QUERY_OPS, Session, SessionStats
 
 __all__ = [
+    "DEFAULT_MAX_WEIGHT_BYTES",
     "EBA_EXCHANGES",
     "QUERY_OPS",
     "SBA_EXCHANGES",
     "SCHEMA_VERSION",
+    "STORE_FORMAT_VERSION",
     "TASK_FIELDS",
+    "ArtefactStore",
     "CheckResult",
+    "KeyedLocks",
     "Scenario",
     "SchemaVersionError",
     "Session",
     "SessionStats",
     "SynthesisResult",
     "TableCell",
+    "WeightedLRU",
     "build_model",
+    "estimate_weight",
     "literature_protocol",
     "result_from_json",
     "task_family",

@@ -1,0 +1,303 @@
+"""The persistent on-disk artefact store behind warm-starting sessions.
+
+A store directory is a content-addressed map from query identity to
+versioned result JSON, shared safely between processes:
+
+* **Key schema.**  A result's identity is the triple ``(op,
+  Scenario.canonical_json(), results schema version)`` — the engine is part
+  of the canonical scenario encoding, so backends never share entries.  The
+  identity is serialised to canonical JSON and hashed (SHA-256) into the
+  file name; the identity is *also* stored inside the record and checked on
+  read, so a renamed or colliding file can never answer the wrong query.
+
+* **Crash consistency.**  Writes go to a temporary file in the store
+  directory and are published with ``os.replace`` — readers see either the
+  old record or the complete new one, never a torn write.  A file that
+  fails to parse, carries the wrong format/schema version, or does not
+  match its own key is **quarantined**: moved (atomically) into
+  ``quarantine/`` with a warning, counted, and treated as a miss — a
+  corrupt store degrades to cold queries, it never takes the service down.
+
+* **Durability is best-effort.**  A failed write (``ENOSPC``, permissions,
+  a vanished directory) is counted and logged; the query that triggered it
+  still answers from the freshly built artefact.
+
+* **Pickled artefacts are opt-in.**  Typed results are plain JSON and safe
+  to share.  Heavyweight build artefacts (levelled spaces) can also be
+  stored, pickled, under ``artefacts/`` — but only when the store is
+  constructed with ``allow_pickle=True``, because unpickling executes code
+  and is only safe for store directories the operator trusts end-to-end.
+
+``repro serve --store DIR`` points the serving session here, so a restarted
+or second server process answers repeated queries from the store tier
+without rebuilding anything.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import logging
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.api.results import SCHEMA_VERSION
+
+logger = logging.getLogger(__name__)
+
+#: Version of the on-disk record layout (wrapper shape, directory scheme).
+#: Bump when the wrapper changes; readers quarantine anything else.
+STORE_FORMAT_VERSION = 1
+
+_RESULTS_DIR = "results"
+_ARTEFACTS_DIR = "artefacts"
+_QUARANTINE_DIR = "quarantine"
+
+
+class ArtefactStore:
+    """A process-shared, crash-consistent store of serialised artefacts."""
+
+    def __init__(self, root, allow_pickle: bool = False) -> None:
+        self.root = Path(root)
+        self.allow_pickle = bool(allow_pickle)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "write_errors": 0,
+            "quarantined": 0,
+        }
+        for subdir in (_RESULTS_DIR, _ARTEFACTS_DIR, _QUARANTINE_DIR):
+            (self.root / subdir).mkdir(parents=True, exist_ok=True)
+
+    # ---------------------------------------------------------------- keying
+
+    @staticmethod
+    def result_identity(op: str, scenario_key: str) -> str:
+        """The canonical identity string of one result entry.
+
+        ``scenario_key`` is :meth:`Scenario.canonical_json` output (engine
+        included); the results schema version is part of the identity, so a
+        schema bump starts a disjoint namespace instead of serving stale
+        shapes.
+        """
+        return json.dumps(
+            {"op": op, "scenario": scenario_key, "schema_version": SCHEMA_VERSION},
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    @staticmethod
+    def artefact_identity(kind: str, key: str) -> str:
+        """The canonical identity string of one pickled-artefact entry."""
+        return json.dumps(
+            {"kind": kind, "key": key, "format": STORE_FORMAT_VERSION},
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    def _path_for(self, subdir: str, identity: str, suffix: str) -> Path:
+        digest = hashlib.sha256(identity.encode()).hexdigest()
+        return self.root / subdir / f"{digest}{suffix}"
+
+    def result_path(self, op: str, scenario_key: str) -> Path:
+        """Where the record for ``(op, scenario)`` lives (exists or not)."""
+        return self._path_for(
+            _RESULTS_DIR, self.result_identity(op, scenario_key), ".json"
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += amount
+
+    def stats(self) -> Dict[str, int]:
+        """A fresh snapshot of the store counters (safe to hand out)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def _atomic_write(self, path: Path, data: bytes) -> bool:
+        """Publish ``data`` at ``path`` via write-to-temp + rename.
+
+        Returns False (and counts ``write_errors``) on any OS failure —
+        a full disk must degrade durability, not break the query.
+        """
+        fd = None
+        tmp_name = None
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+            )
+            os.write(fd, data)
+            os.close(fd)
+            fd = None
+            os.replace(tmp_name, str(path))
+            tmp_name = None
+            self._count("writes")
+            return True
+        except OSError as exc:
+            reason = errno.errorcode.get(exc.errno, exc.errno) if exc.errno else exc
+            logger.warning("artefact store: write of %s failed (%s); "
+                           "continuing without persisting", path.name, reason)
+            self._count("write_errors")
+            return False
+        finally:
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - already closed/invalid
+                    pass
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+
+    def quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside (atomically) and log why.
+
+        The moved file keeps its name under ``quarantine/`` (a numeric
+        suffix avoids clobbering an earlier quarantined generation), so an
+        operator can inspect what went wrong; the live directory is clean
+        again and the next query simply rebuilds.
+        """
+        target = self.root / _QUARANTINE_DIR / path.name
+        attempt = 0
+        while target.exists() and attempt < 1000:
+            attempt += 1
+            target = self.root / _QUARANTINE_DIR / f"{path.name}.{attempt}"
+        try:
+            os.replace(str(path), str(target))
+        except OSError:
+            try:  # a racing reader may have quarantined it first
+                os.unlink(str(path))
+            except OSError:
+                pass
+        self._count("quarantined")
+        logger.warning(
+            "artefact store: quarantined %s (%s)", path.name, reason
+        )
+
+    # -------------------------------------------------------------- results
+
+    def put_result(self, op: str, scenario_key: str, payload: Dict[str, object]) -> bool:
+        """Persist one typed-result JSON payload; best-effort, never raises."""
+        record = {
+            "format": STORE_FORMAT_VERSION,
+            "schema_version": SCHEMA_VERSION,
+            "op": op,
+            "scenario": scenario_key,
+            "result": payload,
+        }
+        path = self.result_path(op, scenario_key)
+        try:
+            data = json.dumps(record, sort_keys=True).encode()
+        except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+            logger.warning("artefact store: unserialisable result for %s: %s",
+                           path.name, exc)
+            self._count("write_errors")
+            return False
+        return self._atomic_write(path, data)
+
+    def get_result(self, op: str, scenario_key: str) -> Optional[Dict[str, object]]:
+        """The stored result payload for ``(op, scenario)``, or None.
+
+        Counts a hit or miss; anything unreadable or mismatched is
+        quarantined and reported as a miss.
+        """
+        path = self.result_path(op, scenario_key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except OSError as exc:  # pragma: no cover - unreadable, not absent
+            self.quarantine(path, f"unreadable: {exc}")
+            self._count("misses")
+            return None
+        try:
+            record = json.loads(raw)
+        except ValueError as exc:
+            self.quarantine(path, f"corrupt JSON: {exc}")
+            self._count("misses")
+            return None
+        reason = self._validate_result_record(record, op, scenario_key)
+        if reason is not None:
+            self.quarantine(path, reason)
+            self._count("misses")
+            return None
+        self._count("hits")
+        return record["result"]
+
+    @staticmethod
+    def _validate_result_record(
+        record: object, op: str, scenario_key: str
+    ) -> Optional[str]:
+        """Why a parsed record must not be served (None when it may be)."""
+        if not isinstance(record, dict):
+            return "record is not a JSON object"
+        if record.get("format") != STORE_FORMAT_VERSION:
+            return (f"store format {record.get('format')!r} "
+                    f"(this build reads {STORE_FORMAT_VERSION})")
+        if record.get("schema_version") != SCHEMA_VERSION:
+            return (f"result schema version {record.get('schema_version')!r} "
+                    f"(this build reads {SCHEMA_VERSION})")
+        if record.get("op") != op or record.get("scenario") != scenario_key:
+            return "key mismatch (file does not answer this query)"
+        result = record.get("result")
+        if not isinstance(result, dict):
+            return "record carries no result object"
+        if result.get("schema_version") != SCHEMA_VERSION:
+            return (f"payload schema version {result.get('schema_version')!r} "
+                    f"(this build reads {SCHEMA_VERSION})")
+        return None
+
+    # ---------------------------------------------- pickled artefacts (opt-in)
+
+    def put_artefact(self, kind: str, key: str, artefact: object) -> bool:
+        """Persist one pickled build artefact; no-op unless ``allow_pickle``."""
+        if not self.allow_pickle:
+            return False
+        identity = self.artefact_identity(kind, key)
+        path = self._path_for(_ARTEFACTS_DIR, identity, ".pkl")
+        try:
+            data = pickle.dumps({"identity": identity, "artefact": artefact})
+        except Exception as exc:  # unpicklable artefacts degrade, never raise
+            logger.warning("artefact store: cannot pickle %s artefact: %s",
+                           kind, exc)
+            self._count("write_errors")
+            return False
+        return self._atomic_write(path, data)
+
+    def get_artefact(self, kind: str, key: str) -> Optional[object]:
+        """The stored artefact for ``(kind, key)``; None unless ``allow_pickle``."""
+        if not self.allow_pickle:
+            return None
+        identity = self.artefact_identity(kind, key)
+        path = self._path_for(_ARTEFACTS_DIR, identity, ".pkl")
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except OSError as exc:  # pragma: no cover - unreadable, not absent
+            self.quarantine(path, f"unreadable: {exc}")
+            self._count("misses")
+            return None
+        try:
+            record = pickle.loads(raw)
+        except Exception as exc:
+            self.quarantine(path, f"corrupt pickle: {exc}")
+            self._count("misses")
+            return None
+        if not isinstance(record, dict) or record.get("identity") != identity:
+            self.quarantine(path, "key mismatch (file does not answer this query)")
+            self._count("misses")
+            return None
+        self._count("hits")
+        return record.get("artefact")

@@ -26,9 +26,14 @@ back as ``{"ok": false, "error": ...}`` with a 4xx status.  Scenario
 documents are validated by :meth:`Scenario.from_json`, so a typo'd field is
 a 400, never a silently-defaulted query.
 
-The server is a ``ThreadingHTTPServer``; the session serialises artefact
-construction behind its lock, so concurrent identical requests never build
-the same space twice.
+The server is a ``ThreadingHTTPServer`` over one shared session with
+per-cache-key build locks: concurrent *different* requests build their
+artefacts in parallel, while concurrent *identical* requests coalesce onto
+a single build (visible as the ``coalesced`` counter in ``/stats``).  With
+``--store DIR`` the session is backed by a persistent
+:class:`~repro.api.artefact_store.ArtefactStore`, so a restarted or second
+server process pointed at the same directory answers repeated queries from
+the store tier instead of rebuilding.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from repro.api.artefact_store import ArtefactStore
 from repro.api.scenario import Scenario
 from repro.api.session import QUERY_OPS, Session
 
@@ -218,15 +224,29 @@ def serve(
     port: int = DEFAULT_PORT,
     cache_size: int = 64,
     verbose: bool = False,
+    store_dir: Optional[str] = None,
+    store_pickle: bool = False,
 ) -> int:
-    """Run the JSON service until interrupted (the ``repro serve`` command)."""
+    """Run the JSON service until interrupted (the ``repro serve`` command).
+
+    ``store_dir`` adds the persistent artefact-store tier: results built by
+    this process are published there, and repeated queries — including ones
+    first answered by *another* process sharing the directory — are served
+    from it without rebuilding.  ``store_pickle`` additionally persists
+    pickled space artefacts (only enable for trusted store directories).
+    """
+    store = ArtefactStore(store_dir, allow_pickle=store_pickle) \
+        if store_dir is not None else None
     server = make_server(
-        host, port, session=Session(max_entries=cache_size), verbose=verbose
+        host, port,
+        session=Session(max_entries=cache_size, store=store),
+        verbose=verbose,
     )
     bound_host, bound_port = server.server_address[:2]
+    store_note = f"; store {store_dir}" if store_dir is not None else ""
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
-          f"(cache {cache_size} entries; endpoints: /check /synthesize /batch "
-          f"/health /stats)", flush=True)
+          f"(cache {cache_size} entries{store_note}; endpoints: /check "
+          f"/synthesize /batch /health /stats)", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -6,30 +6,55 @@ Building the artefacts behind one query — the model, the levelled state
 space, the satisfaction checker, the specification formulas, a synthesis
 fixpoint — dominates its cost, and the loose-kwargs API rebuilt all of them
 on every call.  A session keys every artefact by the relevant slice of the
-:class:`~repro.api.scenario.Scenario` and keeps them in one bounded LRU
-cache, so repeated and batched queries amortise construction across grid
-cells, engines and query kinds:
+:class:`~repro.api.scenario.Scenario` and keeps them in one bounded cache,
+so repeated and batched queries amortise construction across grid cells,
+engines and query kinds.
 
-* two checks of the same configuration share the model, space, checker and
-  formulas (the second is a pure result-cache hit);
-* a temporal-only check after a full check reuses the space and checker;
-* a repeated synthesis returns the memoised fixpoint.
+Three properties make one session safe and useful to share across many
+concurrent clients (``repro serve`` runs exactly one):
 
-Queries return the typed results of :mod:`repro.api.results`.  A session is
-thread-safe (one re-entrant lock around the cache and the queries), which is
-what lets ``repro serve`` answer concurrent requests from a single shared
-session.
+* **Striped build locking.**  Artefact construction is serialised *per
+  cache key* (:class:`~repro.api.cache.KeyedLocks`), not behind one global
+  lock: two different scenarios build concurrently, while two identical
+  cold requests coalesce onto a single build — the second holder finds the
+  first holder's value and is counted in ``stats().coalesced``.  The
+  session's own bookkeeping lock is only ever held for dictionary
+  operations, never across a build.
+
+* **Weight-aware eviction.**  The cache
+  (:class:`~repro.api.cache.WeightedLRU`) is bounded by estimated resident
+  bytes (:func:`~repro.api.cache.estimate_weight`) as well as entry count,
+  so one synthesis fixpoint no longer costs the same as a 200-byte
+  :class:`~repro.api.results.CheckResult`.  Keys with an in-flight build or
+  waiter are pinned and never evicted.
+
+* **A persistent store tier.**  With an
+  :class:`~repro.api.artefact_store.ArtefactStore`, result-cache misses
+  consult the on-disk store before building and publish what they build, so
+  a restarted or second process starts warm; pickled spaces ride along when
+  the store opts into pickling.
+
+Queries return the typed results of :mod:`repro.api.results`;
+:meth:`Session.stats` reports per-tier counters as an immutable snapshot.
 """
 
 from __future__ import annotations
 
+import json
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
+from types import MappingProxyType
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.api.artefact_store import ArtefactStore
 from repro.api.build import build_model, literature_protocol
-from repro.api.results import CheckResult, SynthesisResult
+from repro.api.cache import (
+    DEFAULT_MAX_WEIGHT_BYTES,
+    KeyedLocks,
+    WeightedLRU,
+    estimate_weight,
+)
+from repro.api.results import CheckResult, SynthesisResult, result_from_json
 from repro.api.scenario import Scenario
 from repro.engines import checker_for
 from repro.systems.space import build_space
@@ -43,12 +68,25 @@ BatchRequest = Tuple[str, Scenario]
 
 @dataclass(frozen=True)
 class SessionStats:
-    """Cumulative cache statistics for a session."""
+    """An immutable snapshot of the session's per-tier cache statistics.
+
+    ``hits``/``misses`` count in-memory lookups per artefact layer (a miss
+    is a completed build); ``coalesced`` counts lookups that waited out
+    another thread's identical build and then read its result.  ``store``
+    is the persistent tier's counter snapshot (read-only mapping), or None
+    when the session has no store.  The snapshot is taken under the
+    session's bookkeeping lock and every field is frozen or copied, so a
+    service response can hand it out without leaking mutable session state.
+    """
 
     hits: int
     misses: int
     entries: int
     max_entries: int
+    coalesced: int = 0
+    weight_bytes: int = 0
+    max_weight_bytes: int = 0
+    store: Optional[Mapping[str, int]] = None
 
     @property
     def hit_rate(self) -> float:
@@ -57,64 +95,185 @@ class SessionStats:
         return self.hits / total if total else 0.0
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "hits": self.hits,
             "misses": self.misses,
+            "coalesced": self.coalesced,
             "entries": self.entries,
             "max_entries": self.max_entries,
+            "weight_bytes": self.weight_bytes,
+            "max_weight_bytes": self.max_weight_bytes,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.store is not None:
+            data["store"] = dict(self.store)
+        return data
 
 
 class Session:
     """A bounded memo of per-scenario artefacts behind typed queries.
 
-    ``max_entries`` bounds the number of cached artefacts (models, spaces,
-    checkers, formula sets, synthesis fixpoints and typed results all count
-    as one entry each); the least recently used entry is evicted first.
+    ``max_entries`` bounds the number of cached artefacts and
+    ``max_weight_bytes`` their estimated total size; the least recently
+    used unpinned entry is evicted first.  ``store`` adds the persistent
+    tier.  ``concurrent_builds=False`` restores the pre-striping behaviour
+    (every build under one session-wide lock) — kept as the measurable
+    baseline for the concurrency benchmarks, not for production use.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(
+        self,
+        max_entries: int = 64,
+        max_weight_bytes: int = DEFAULT_MAX_WEIGHT_BYTES,
+        store: Optional[ArtefactStore] = None,
+        concurrent_builds: bool = True,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_weight_bytes < 1:
+            raise ValueError(
+                f"max_weight_bytes must be >= 1, got {max_weight_bytes}"
+            )
         self.max_entries = max_entries
-        self._lock = threading.RLock()
-        self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.max_weight_bytes = max_weight_bytes
+        self._lock = threading.RLock()  # bookkeeping only: cache + counters
+        self._build_locks = KeyedLocks()
+        self._cache = WeightedLRU(max_entries, max_weight_bytes)
+        self._store = store
+        self._concurrent_builds = concurrent_builds
         self._hits = 0
         self._misses = 0
+        self._coalesced = 0
 
     # ------------------------------------------------------------------ cache
 
-    def _memo(self, key: Tuple, build: Callable[[], object]) -> object:
+    def _lookup(self, key: Tuple, coalesced: bool = False):
+        """One locked cache probe; returns ``(found, value)`` and counts."""
         with self._lock:
-            if key in self._cache:
-                self._hits += 1
-                self._cache.move_to_end(key)
-                return self._cache[key]
-            self._misses += 1
-            value = build()
-            self._cache[key] = value
-            while len(self._cache) > self.max_entries:
-                self._cache.popitem(last=False)
+            try:
+                value = self._cache.get(key)
+            except KeyError:
+                return False, None
+            self._hits += 1
+            if coalesced:
+                self._coalesced += 1
+            return True, value
+
+    def _insert(self, key: Tuple, value: object, built: bool) -> None:
+        with self._lock:
+            if built:
+                self._misses += 1
+            # Keys with an in-flight build or a coalescing waiter are
+            # pinned: evicting them would make the waiter rebuild what was
+            # just built.
+            self._cache.put(
+                key, value, estimate_weight(key, value),
+                pinned=self._build_locks.active_keys(),
+            )
+
+    def _invoke_build(self, key: Tuple, build: Callable[[], object]) -> object:
+        """Run one artefact build (no session lock held).
+
+        The test/benchmark seam: subclasses wrap this to count builds per
+        key or inject latency without touching the locking discipline.
+        """
+        return build()
+
+    def _build_and_cache(self, key: Tuple, build: Callable[[], object]) -> object:
+        value = self._invoke_build(key, build)
+        self._insert(key, value, built=True)
+        self._store_put(key, value)
+        return value
+
+    def _memo(self, key: Tuple, build: Callable[[], object]) -> object:
+        found, value = self._lookup(key)
+        if found:
             return value
+        if not self._concurrent_builds:
+            # Baseline mode: the whole build happens under the session lock
+            # (the RLock keeps nested artefact builds re-entrant).
+            with self._lock:
+                found, value = self._lookup(key)
+                if found:
+                    return value
+                value = self._store_get(key)
+                if value is not None:
+                    self._insert(key, value, built=False)
+                    return value
+                return self._build_and_cache(key, build)
+        with self._build_locks.holding(key):
+            # Someone may have finished this exact build while we waited.
+            found, value = self._lookup(key, coalesced=True)
+            if found:
+                return value
+            value = self._store_get(key)
+            if value is not None:
+                self._insert(key, value, built=False)
+                return value
+            return self._build_and_cache(key, build)
+
+    # ------------------------------------------------------------ store tier
+
+    @staticmethod
+    def _artefact_store_key(key: Tuple) -> str:
+        return json.dumps(key, sort_keys=False, separators=(",", ":"))
+
+    def _store_get(self, key: Tuple):
+        """The persistent tier's answer for a cache key, or None."""
+        if self._store is None:
+            return None
+        if key[0] == "result":
+            payload = self._store.get_result(key[1], key[2])
+            if payload is None:
+                return None
+            try:
+                return result_from_json(payload)
+            except (TypeError, ValueError):  # foreign/stale payload: rebuild
+                return None
+        if key[0] == "space" and self._store.allow_pickle:
+            return self._store.get_artefact("space", self._artefact_store_key(key))
+        return None
+
+    def _store_put(self, key: Tuple, value: object) -> None:
+        """Publish a freshly built artefact to the persistent tier."""
+        if self._store is None:
+            return
+        if key[0] == "result":
+            self._store.put_result(key[1], key[2], value.to_json())
+        elif key[0] == "space" and self._store.allow_pickle:
+            self._store.put_artefact("space", self._artefact_store_key(key), value)
+
+    @property
+    def store(self) -> Optional[ArtefactStore]:
+        """The persistent artefact store behind this session, if any."""
+        return self._store
+
+    # ------------------------------------------------------------- statistics
 
     def stats(self) -> SessionStats:
-        """Cumulative cache statistics (hits include every artefact layer).
+        """An immutable, consistent snapshot of the per-tier statistics.
 
-        Deliberately lock-free: the counters are plain ints and ``len`` is
-        atomic under CPython, so liveness probes (``repro serve``'s
-        ``/health``) stay responsive even while a long artefact build holds
-        the session lock.
+        Taken under the bookkeeping lock — which striped building only ever
+        holds for dictionary operations, so liveness probes (``repro
+        serve``'s ``/health``) stay responsive during long builds.  The
+        store counters come back as a read-only mapping over a fresh copy;
+        mutating the snapshot (or its JSON form) cannot touch the session.
         """
-        return SessionStats(
-            hits=self._hits,
-            misses=self._misses,
-            entries=len(self._cache),
-            max_entries=self.max_entries,
-        )
+        with self._lock:
+            store = self._store.stats() if self._store is not None else None
+            return SessionStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._cache),
+                max_entries=self.max_entries,
+                coalesced=self._coalesced,
+                weight_bytes=self._cache.total_weight,
+                max_weight_bytes=self.max_weight_bytes,
+                store=MappingProxyType(store) if store is not None else None,
+            )
 
     def clear(self) -> None:
-        """Drop every cached artefact (statistics are kept)."""
+        """Drop every cached artefact (statistics and the store are kept)."""
         with self._lock:
             self._cache.clear()
 
@@ -279,6 +438,11 @@ class Session:
         artefacts its predecessors built, so a grid of related scenarios
         amortises space construction the way :func:`run_table`'s forked
         children cannot.
+
+        A query that raises propagates immediately (later requests do not
+        run), but never poisons the session: completed queries stay cached,
+        the failing key's build lock is released and nothing partial is
+        inserted, so retrying the same batch resumes where it failed.
         """
         results = []
         for op, scenario in requests:

@@ -228,6 +228,8 @@ def _serve_command(args: argparse.Namespace) -> int:
         port=args.port,
         cache_size=args.cache_size,
         verbose=not args.quiet,
+        store_dir=args.store,
+        store_pickle=args.store_pickle,
     )
 
 
@@ -313,6 +315,15 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--cache-size", type=int, default=64,
                      help="bound on the shared session's artefact cache "
                           "(default 64 entries)")
+    srv.add_argument("--store", metavar="DIR", default=None,
+                     help="persistent artefact store directory: results are "
+                          "published here and repeated queries (from this or "
+                          "any other process sharing the directory) are "
+                          "answered without rebuilding")
+    srv.add_argument("--store-pickle", action="store_true",
+                     help="also persist pickled space artefacts in --store "
+                          "(unpickling runs code: only for trusted store "
+                          "directories)")
     srv.add_argument("--quiet", action="store_true",
                      help="do not log individual requests")
     srv.set_defaults(func=_serve_command)

@@ -157,6 +157,50 @@ class TestErrors:
 
 
 class TestConcurrency:
+    def test_concurrent_duplicate_cold_requests_build_once(self):
+        # A slow cold build plus a duplicate request arriving mid-build: the
+        # duplicate must coalesce onto the in-flight build — exactly one
+        # build, observable through the /stats coalesce counter.
+        import time
+
+        from repro.api import Session
+
+        class SlowSession(Session):
+            build_count = 0
+
+            def _invoke_build(self, key, build):
+                if key[0] == "result":
+                    type(self).build_count += 1
+                    time.sleep(0.3)  # long enough for the duplicate to arrive
+                return super()._invoke_build(key, build)
+
+        server = make_server(port=0, session=SlowSession())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            responses = []
+            workers = [
+                threading.Thread(target=lambda: responses.append(
+                    _post(url + "/check", {"scenario": SCENARIO})))
+                for _ in range(2)
+            ]
+            workers[0].start()
+            time.sleep(0.1)  # the first request is mid-build when this lands
+            workers[1].start()
+            for worker in workers:
+                worker.join(timeout=120)
+            assert len(responses) == 2
+            assert all(status == 200 for status, _ in responses)
+            assert SlowSession.build_count == 1
+            _, stats = _get(url + "/stats")
+            assert stats["cache"]["coalesced"] == 1
+            assert stats["cache"]["misses"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
     def test_concurrent_repeated_queries_all_answer_from_one_session(self, server_url):
         results = []
         errors = []

@@ -1,0 +1,139 @@
+"""Property battery: the weighted LRU against a naive reference model.
+
+Seeded-random op sequences (get / put / pin / unpin, the repo's
+``random.Random`` property-test convention) drive the real
+:class:`~repro.api.cache.WeightedLRU` and an obviously-correct list-based
+model in lockstep.  After every operation the two must agree on contents,
+recency order, total weight and the exact eviction victims; on top of that
+the invariants the serving stack depends on are asserted directly:
+
+* at insert time, total weight never exceeds the budget unless every other
+  resident entry is pinned (an in-flight build may temporarily overflow,
+  nothing else — and the overflow drains on the next insert after the pins
+  lift);
+* a pinned key — one with a build or waiter in flight — is never evicted;
+* hit/miss counts match the model exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.api.cache import WeightedLRU
+
+
+class ModelLRU:
+    """The naive reference: a list of (key, value, weight), LRU order."""
+
+    def __init__(self, max_entries, max_weight):
+        self.max_entries = max_entries
+        self.max_weight = max_weight
+        self.items = []  # least recently used first
+
+    def keys(self):
+        return [key for key, _, _ in self.items]
+
+    def total_weight(self):
+        return sum(weight for _, _, weight in self.items)
+
+    def get(self, key):
+        for index, (candidate, value, weight) in enumerate(self.items):
+            if candidate == key:
+                del self.items[index]
+                self.items.append((key, value, weight))
+                return True, value
+        return False, None
+
+    def put(self, key, value, weight, pinned):
+        self.items = [item for item in self.items if item[0] != key]
+        self.items.append((key, value, weight))
+        evicted = []
+        while (len(self.items) > self.max_entries
+               or self.total_weight() > self.max_weight):
+            victim_index = next(
+                (index for index, (candidate, _, _) in enumerate(self.items)
+                 if candidate != key and candidate not in pinned),
+                None,
+            )
+            if victim_index is None:
+                break
+            victim = self.items.pop(victim_index)
+            evicted.append((victim[0], victim[1]))
+        return evicted
+
+
+def _run_sequence(seed, steps=400, max_entries=6, max_weight=120):
+    rng = random.Random(seed)
+    real = WeightedLRU(max_entries, max_weight)
+    model = ModelLRU(max_entries, max_weight)
+    alphabet = [f"k{index}" for index in range(12)]
+    pinned = set()
+    hits = misses = model_hits = model_misses = 0
+
+    for step in range(steps):
+        action = rng.random()
+        key = rng.choice(alphabet)
+        if action < 0.40:  # get
+            found_model, value_model = model.get(key)
+            try:
+                value_real = real.get(key)
+                found_real = True
+            except KeyError:
+                value_real, found_real = None, False
+            assert found_real == found_model, (seed, step, key)
+            if found_real:
+                hits += 1
+                model_hits += 1
+                assert value_real == value_model
+            else:
+                misses += 1
+                model_misses += 1
+        elif action < 0.80:  # put
+            weight = rng.randint(0, 40)
+            value = (key, step)
+            evicted_real = real.put(key, value, weight, pinned=pinned)
+            evicted_model = model.put(key, value, weight, pinned)
+            assert evicted_real == evicted_model, (seed, step, key)
+            # The serving invariant: an in-flight (pinned) key is never
+            # dropped by someone else's insert.
+            assert all(victim not in pinned for victim, _ in evicted_real)
+            # Weight bound at insert time: eviction runs on put, so going
+            # over budget is only legal when everything else is pinned
+            # (pins lifting later leave the overflow until the next put).
+            if real.total_weight > max_weight:
+                overflow = [candidate for candidate in real.keys()
+                            if candidate not in pinned and candidate != key]
+                assert overflow == [], (seed, step, overflow)
+        elif action < 0.92:  # pin (a build/waiter arrives)
+            pinned.add(key)
+        else:  # unpin (the build completes and its holders drain)
+            pinned.discard(key)
+
+        # Lockstep state equality after every operation.
+        assert real.keys() == model.keys(), (seed, step)
+        assert real.total_weight == model.total_weight(), (seed, step)
+        assert len(real) == len(model.items)
+
+    assert (hits, misses) == (model_hits, model_misses)
+    return hits, misses
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_weighted_lru_matches_the_naive_model(seed):
+    hits, misses = _run_sequence(seed)
+    assert hits + misses > 0
+
+
+def test_tight_weight_budget_still_matches(seed=1729):
+    # Heavy eviction pressure: weights frequently exceed the budget alone.
+    _run_sequence(seed, steps=300, max_entries=4, max_weight=30)
+
+
+def test_entry_bound_only(seed=2718):
+    # Effectively unbounded weight: pure LRU-by-count behaviour.
+    _run_sequence(seed, steps=300, max_entries=3, max_weight=10**9)
+
+
+def test_weight_bound_only(seed=3141):
+    # Effectively unbounded entries: pure weight-driven eviction.
+    _run_sequence(seed, steps=300, max_entries=10**6, max_weight=60)

@@ -1,0 +1,189 @@
+"""Unit tests for the session's cache primitives.
+
+:class:`WeightedLRU` and :class:`KeyedLocks` carry the concurrency story of
+the serving stack, so their edge cases get explicit pins here; the
+randomised cross-model battery lives in
+``tests/property/test_session_cache.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import Scenario, Session
+from repro.api.cache import KeyedLocks, WeightedLRU, estimate_weight
+
+
+class TestWeightedLRU:
+    def test_bounds_are_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            WeightedLRU(0, 100)
+        with pytest.raises(ValueError, match="max_weight"):
+            WeightedLRU(4, 0)
+
+    def test_get_marks_most_recently_used(self):
+        cache = WeightedLRU(2, 1000)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        assert cache.get("a") == 1
+        evicted = cache.put("c", 3, 10)
+        # "b" was least recently used once "a" was touched.
+        assert [key for key, _ in evicted] == ["b"]
+        assert cache.keys() == ["a", "c"]
+
+    def test_eviction_by_total_weight(self):
+        cache = WeightedLRU(10, 100)
+        cache.put("small", "s", 10)
+        cache.put("big", "b", 80)
+        evicted = cache.put("huge", "h", 60)
+        # Entry count is far under bound; weight forced both older entries out.
+        assert [key for key, _ in evicted] == ["small", "big"]
+        assert cache.total_weight == 60
+
+    def test_replacing_an_entry_replaces_its_weight(self):
+        cache = WeightedLRU(10, 100)
+        cache.put("a", 1, 90)
+        cache.put("a", 2, 10)
+        assert cache.total_weight == 10
+        assert cache.get("a") == 2
+
+    def test_pinned_keys_are_never_evicted(self):
+        cache = WeightedLRU(2, 1000)
+        cache.put("pinned", 1, 10)
+        cache.put("victim", 2, 10)
+        evicted = cache.put("new", 3, 10, pinned={"pinned"})
+        assert [key for key, _ in evicted] == ["victim"]
+        assert "pinned" in cache
+
+    def test_all_pinned_leaves_cache_over_budget(self):
+        cache = WeightedLRU(1, 10)
+        cache.put("a", 1, 10, pinned={"a"})
+        evicted = cache.put("b", 2, 10, pinned={"a", "b"})
+        assert evicted == []
+        assert len(cache) == 2
+        assert cache.total_weight == 20
+        # Pressure resolves as soon as the pins lift.
+        evicted = cache.put("c", 3, 10)
+        assert {key for key, _ in evicted} == {"a", "b"}
+
+    def test_pop_and_clear_keep_weight_accounting(self):
+        cache = WeightedLRU(10, 1000)
+        cache.put("a", 1, 30)
+        cache.put("b", 2, 20)
+        assert cache.pop("a") == 1
+        assert cache.total_weight == 20
+        cache.clear()
+        assert cache.total_weight == 0 and len(cache) == 0
+
+    def test_oversized_single_entry_is_kept(self):
+        # An entry larger than the whole budget still caches (evicting it
+        # immediately would thrash); it just evicts everything else.
+        cache = WeightedLRU(10, 50)
+        cache.put("a", 1, 10)
+        cache.put("big", 2, 500)
+        assert "big" in cache and "a" not in cache
+
+
+class TestKeyedLocks:
+    def test_entries_are_reference_counted_away(self):
+        locks = KeyedLocks()
+        with locks.holding("k"):
+            assert locks.active_keys() == frozenset({"k"})
+            assert len(locks) == 1
+        assert len(locks) == 0
+        assert locks.active_keys() == frozenset()
+
+    def test_waiters_keep_the_key_active(self):
+        locks = KeyedLocks()
+        entered = threading.Event()
+        release = threading.Event()
+        observed = []
+
+        def holder():
+            with locks.holding("k"):
+                entered.set()
+                release.wait(timeout=10)
+
+        def waiter():
+            with locks.holding("k"):
+                observed.append("ran")
+
+        hold_thread = threading.Thread(target=holder)
+        wait_thread = threading.Thread(target=waiter)
+        hold_thread.start()
+        assert entered.wait(timeout=10)
+        wait_thread.start()
+        # Both the holder and the queued waiter pin the key.
+        for _ in range(100):
+            if len(locks) == 1:
+                break
+        assert locks.active_keys() == frozenset({"k"})
+        release.set()
+        hold_thread.join(timeout=10)
+        wait_thread.join(timeout=10)
+        assert observed == ["ran"]
+        assert len(locks) == 0
+
+    def test_distinct_keys_do_not_block_each_other(self):
+        locks = KeyedLocks()
+        first_in = threading.Event()
+        second_in = threading.Event()
+
+        def hold(key, mine, other):
+            with locks.holding(key):
+                mine.set()
+                assert other.wait(timeout=10), "peer never entered its lock"
+
+        threads = [
+            threading.Thread(target=hold, args=("a", first_in, second_in)),
+            threading.Thread(target=hold, args=("b", second_in, first_in)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+    def test_exceptions_release_the_lock(self):
+        locks = KeyedLocks()
+        with pytest.raises(RuntimeError):
+            with locks.holding("k"):
+                raise RuntimeError("build failed")
+        assert len(locks) == 0
+        with locks.holding("k"):  # not deadlocked
+            pass
+
+
+class TestEstimateWeight:
+    def test_spaces_outweigh_results(self):
+        session = Session()
+        scenario = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+        space = session.space(scenario)
+        result = session.check(scenario)
+        space_weight = estimate_weight(("space",), space)
+        result_weight = estimate_weight(("result",), result)
+        assert space_weight > 10 * result_weight
+        # State-bearing artefacts scale with the state count.
+        assert space_weight > space.num_states() * 100
+
+    def test_synthesis_artifacts_carry_their_space(self):
+        session = Session()
+        scenario = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+        artifact = session.synthesis_artifact(scenario)
+        weight = estimate_weight(("synthesis",), artifact)
+        assert weight > artifact.space.num_states() * 100
+
+    def test_result_weight_tracks_wire_size(self):
+        from repro.api.results import CheckResult
+
+        small = CheckResult(task="sba-model-check", engine="bitset",
+                            exchange="floodset", failures="crash",
+                            num_agents=2, max_faulty=1, states=1)
+        big = CheckResult(task="sba-model-check", engine="bitset",
+                          exchange="floodset", failures="crash",
+                          num_agents=2, max_faulty=1, states=1,
+                          spec={f"formula_{i}": True for i in range(100)})
+        assert estimate_weight(("result",), big) > estimate_weight(("result",), small)
+
+    def test_unknown_kinds_get_a_positive_default(self):
+        assert estimate_weight(("mystery",), object()) > 0

@@ -132,6 +132,111 @@ class TestCaching:
 
         json.dumps(Session().stats().to_json())
 
+    def test_cache_is_bounded_by_weight(self):
+        # A budget big enough for one model (~4 KiB) but not two: the
+        # second insert evicts the first even though max_entries is ample.
+        session = Session(max_weight_bytes=6 * 1024)
+        session.model(FLOODSET)
+        session.model(EMIN)
+        stats = session.stats()
+        assert stats.entries == 1
+        assert stats.weight_bytes <= stats.max_weight_bytes
+        misses = stats.misses
+        session.model(FLOODSET)  # evicted above: a rebuild, not a hit
+        assert session.stats().misses == misses + 1
+
+    def test_weight_accounting_tracks_entries(self):
+        session = Session()
+        assert session.stats().weight_bytes == 0
+        session.check(FLOODSET)
+        weight = session.stats().weight_bytes
+        assert weight > 0
+        session.clear()
+        assert session.stats().weight_bytes == 0
+
+    def test_max_weight_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_weight_bytes"):
+            Session(max_weight_bytes=0)
+
+
+class TestStatsSnapshot:
+    def test_stats_snapshot_is_frozen(self):
+        import dataclasses
+
+        stats = Session().stats()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            stats.hits = 99
+
+    def test_stats_json_is_a_fresh_copy(self):
+        session = Session()
+        session.check(FLOODSET)
+        snapshot = session.stats().to_json()
+        snapshot["hits"] = -1
+        snapshot["store"] = {"hits": 10**6}
+        # Mutating a handed-out snapshot (as a service response might)
+        # cannot touch the session's own accounting.
+        assert session.stats().to_json()["hits"] != -1
+        assert session.stats().store is None
+
+    def test_store_counters_are_read_only(self, tmp_path):
+        from repro.api import ArtefactStore
+
+        session = Session(store=ArtefactStore(tmp_path / "store"))
+        session.check(FLOODSET)
+        stats = session.stats()
+        with pytest.raises(TypeError):
+            stats.store["hits"] = 10**6
+        # ...and the JSON form converts them to a plain (fresh) dict.
+        import json
+
+        json.dumps(stats.to_json())
+
+
+class TestBatchFailureConsistency:
+    def test_failing_scenario_mid_batch_leaves_a_consistent_session(self):
+        session = Session()
+        # The temporal op on an EBA scenario raises; the batch propagates
+        # the error after completing the earlier requests.
+        with pytest.raises(ValueError, match="SBA exchanges only"):
+            session.batch([
+                ("check", FLOODSET),
+                ("temporal", EMIN),
+                ("check", FLOODSET),
+            ])
+        stats_after_failure = session.stats()
+        # The completed prefix is cached: re-running the batch prefix is
+        # pure hits, no new builds.
+        result = session.check(FLOODSET)
+        assert result.spec_ok
+        assert session.stats().misses == stats_after_failure.misses
+        # The failure consumed no cache entry and no counter.
+        assert stats_after_failure.entries == session.stats().entries
+
+    def test_mid_build_failure_does_not_poison_the_batch_key(self, monkeypatch):
+        from repro.core import synthesis
+
+        calls = {"count": 0}
+        real = synthesis.synthesize_sba
+
+        def flaky(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("injected mid-build failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(synthesis, "synthesize_sba", flaky)
+        session = Session()
+        with pytest.raises(RuntimeError, match="injected"):
+            session.batch([("check", FLOODSET), ("synthesize", FLOODSET)])
+        # The check result survived; the failed synthesis left no entry and
+        # the retry rebuilds cleanly on the same session.
+        hits_before = session.stats().hits
+        assert session.check(FLOODSET).spec_ok
+        assert session.stats().hits == hits_before + 1
+        summary = session.synthesize(FLOODSET)
+        assert summary.task == "sba-synthesis"
+        assert calls["count"] == 2
+
 
 class TestThreadSafety:
     def test_concurrent_identical_queries_build_once(self):

@@ -1,0 +1,281 @@
+"""Unit and fault-injection tests for the persistent artefact store.
+
+The store is the crash-consistency boundary of the serving stack, so the
+battery leans on fault injection: torn and corrupt files, wrong versions,
+renamed entries, and a full disk (ENOSPC simulated by monkeypatching the
+atomic-write plumbing) must all degrade to cold queries with a warning —
+never an exception, never a wrong answer.
+"""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.api import ArtefactStore, Scenario, Session
+from repro.api.artefact_store import STORE_FORMAT_VERSION
+from repro.api.results import SCHEMA_VERSION, CheckResult
+
+SCENARIO = Scenario(exchange="floodset", num_agents=2, max_faulty=1)
+
+RESULT = CheckResult(
+    task="sba-model-check", engine="bitset", exchange="floodset",
+    failures="crash", num_agents=2, max_faulty=1, states=7,
+    spec={"validity": True},
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtefactStore(tmp_path / "store")
+
+
+def _populate(store, op="check"):
+    key = SCENARIO.canonical_json()
+    assert store.put_result(op, key, RESULT.to_json())
+    return key
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_the_payload(self, store):
+        key = _populate(store)
+        payload = store.get_result("check", key)
+        assert payload == RESULT.to_json()
+        assert CheckResult.from_json(payload) == RESULT
+
+    def test_missing_entry_is_a_counted_miss(self, store):
+        assert store.get_result("check", SCENARIO.canonical_json()) is None
+        assert store.stats()["misses"] == 1
+
+    def test_hits_misses_and_writes_are_counted(self, store):
+        key = _populate(store)
+        store.get_result("check", key)
+        store.get_result("synthesize", key)
+        stats = store.stats()
+        assert stats["writes"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_distinct_ops_and_scenarios_are_distinct_entries(self, store):
+        key = _populate(store, op="check")
+        assert store.get_result("synthesize", key) is None
+        other = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+        assert store.get_result("check", other.canonical_json()) is None
+
+    def test_rewrite_replaces_the_entry(self, store):
+        key = _populate(store)
+        newer = json.loads(json.dumps(RESULT.to_json()))
+        newer["states"] = 99
+        assert store.put_result("check", key, newer)
+        assert store.get_result("check", key)["states"] == 99
+
+    def test_store_directory_layout_is_created(self, tmp_path):
+        root = tmp_path / "deep" / "store"
+        ArtefactStore(root)
+        assert (root / "results").is_dir()
+        assert (root / "artefacts").is_dir()
+        assert (root / "quarantine").is_dir()
+
+
+class TestAtomicity:
+    def test_no_temporary_files_survive_a_write(self, store):
+        key = _populate(store)
+        leftovers = [p for p in (store.root / "results").iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+        assert store.get_result("check", key) is not None
+
+    def test_abandoned_tmp_file_is_invisible_to_readers(self, store):
+        # A crash between mkstemp and os.replace leaves a .tmp file; it must
+        # never be read as an entry.
+        key = SCENARIO.canonical_json()
+        path = store.result_path("check", key)
+        (path.parent / (path.name + ".abandoned.tmp")).write_text("{garbage")
+        assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 0
+
+
+class TestQuarantine:
+    def _entry_path(self, store, key):
+        return store.result_path("check", key)
+
+    def test_corrupt_json_is_quarantined_not_raised(self, store, caplog):
+        key = _populate(store)
+        self._entry_path(store, key).write_text("{not json at all")
+        with caplog.at_level("WARNING"):
+            assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 1
+        assert "quarantined" in caplog.text
+        # The bad file moved aside; the slot is clean and writable again.
+        assert not self._entry_path(store, key).exists()
+        assert len(list((store.root / "quarantine").iterdir())) == 1
+        _populate(store)
+        assert store.get_result("check", key) is not None
+
+    def test_truncated_record_is_quarantined(self, store):
+        key = _populate(store)
+        path = self._entry_path(store, key)
+        path.write_bytes(path.read_bytes()[:25])  # torn mid-record
+        assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_wrong_store_format_version_is_quarantined(self, store):
+        key = _populate(store)
+        path = self._entry_path(store, key)
+        record = json.loads(path.read_text())
+        record["format"] = STORE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(record))
+        assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_wrong_schema_version_is_quarantined(self, store):
+        key = _populate(store)
+        path = self._entry_path(store, key)
+        record = json.loads(path.read_text())
+        record["schema_version"] = SCHEMA_VERSION + 10
+        path.write_text(json.dumps(record))
+        assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_wrong_payload_schema_version_is_quarantined(self, store):
+        key = _populate(store)
+        path = self._entry_path(store, key)
+        record = json.loads(path.read_text())
+        record["result"]["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record))
+        assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_renamed_entry_never_answers_the_wrong_query(self, store):
+        # Copy a valid record onto another query's slot: the embedded
+        # identity no longer matches and the file is quarantined.
+        key = _populate(store)
+        other = Scenario(exchange="floodset", num_agents=3, max_faulty=2)
+        other_key = other.canonical_json()
+        source = self._entry_path(store, key)
+        target = store.result_path("check", other_key)
+        target.write_bytes(source.read_bytes())
+        assert store.get_result("check", other_key) is None
+        assert store.stats()["quarantined"] == 1
+        # The original entry is untouched.
+        assert store.get_result("check", key) is not None
+
+    def test_non_object_record_is_quarantined(self, store):
+        key = SCENARIO.canonical_json()
+        store.result_path("check", key).write_text(json.dumps([1, 2, 3]))
+        assert store.get_result("check", key) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_quarantined_generations_do_not_clobber_each_other(self, store):
+        key = _populate(store)
+        for _ in range(3):
+            self._entry_path(store, key).write_text("{broken")
+            assert store.get_result("check", key) is None
+        assert len(list((store.root / "quarantine").iterdir())) == 3
+
+
+class TestWriteFailures:
+    def test_enospc_is_counted_and_degrades_to_no_write(self, store, monkeypatch, caplog):
+        def full_disk(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.api.artefact_store.os.replace", full_disk)
+        with caplog.at_level("WARNING"):
+            assert store.put_result(
+                "check", SCENARIO.canonical_json(), RESULT.to_json()) is False
+        assert store.stats()["write_errors"] == 1
+        assert "ENOSPC" in caplog.text
+        # No temp-file debris left behind by the failed publish.
+        assert list((store.root / "results").iterdir()) == []
+
+    def test_enospc_at_write_time_is_also_safe(self, store, monkeypatch):
+        real_write = os.write
+
+        def full_disk(fd, data):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.api.artefact_store.os.write", full_disk)
+        assert store.put_result(
+            "check", SCENARIO.canonical_json(), RESULT.to_json()) is False
+        monkeypatch.setattr("repro.api.artefact_store.os.write", real_write)
+        # The store recovers as soon as the disk does.
+        assert store.put_result(
+            "check", SCENARIO.canonical_json(), RESULT.to_json()) is True
+
+    def test_session_queries_survive_a_dead_store(self, tmp_path, monkeypatch):
+        store = ArtefactStore(tmp_path / "store")
+
+        def full_disk(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.api.artefact_store.os.replace", full_disk)
+        session = Session(store=store)
+        result = session.check(SCENARIO)
+        assert result.spec_ok
+        assert session.stats().store["write_errors"] >= 1
+        # And the answer is cached in memory despite the dead store.
+        assert session.check(SCENARIO) is result
+
+
+class TestPickledArtefacts:
+    def test_pickle_is_off_by_default(self, store):
+        assert store.put_artefact("space", "k", object()) is False
+        assert store.get_artefact("space", "k") is None
+        assert list((store.root / "artefacts").iterdir()) == []
+
+    def test_opt_in_round_trip(self, tmp_path):
+        store = ArtefactStore(tmp_path / "store", allow_pickle=True)
+        assert store.put_artefact("space", "k", {"levels": [1, 2, 3]})
+        assert store.get_artefact("space", "k") == {"levels": [1, 2, 3]}
+
+    def test_unpicklable_artefact_degrades(self, tmp_path):
+        store = ArtefactStore(tmp_path / "store", allow_pickle=True)
+        assert store.put_artefact("space", "k", lambda: None) is False
+        assert store.stats()["write_errors"] == 1
+
+    def test_corrupt_pickle_is_quarantined(self, tmp_path):
+        store = ArtefactStore(tmp_path / "store", allow_pickle=True)
+        assert store.put_artefact("space", "k", [1, 2])
+        (path,) = (store.root / "artefacts").iterdir()
+        path.write_bytes(b"\x80\x04 definitely not a pickle")
+        assert store.get_artefact("space", "k") is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_identity_mismatch_is_quarantined(self, tmp_path):
+        store = ArtefactStore(tmp_path / "store", allow_pickle=True)
+        assert store.put_artefact("space", "a", [1])
+        assert store.put_artefact("space", "b", [2])
+        paths = sorted((store.root / "artefacts").iterdir())
+        paths[0].write_bytes(paths[1].read_bytes())
+        values = [store.get_artefact("space", "a"), store.get_artefact("space", "b")]
+        # One of the two lookups hit the copied-over file and rejected it.
+        assert store.stats()["quarantined"] == 1
+        assert None in values
+
+    def test_sessions_share_spaces_through_a_pickling_store(self, tmp_path):
+        store = ArtefactStore(tmp_path / "store", allow_pickle=True)
+        first = Session(store=store)
+        space = first.space(SCENARIO)
+        writes_after_build = store.stats()["writes"]
+        assert writes_after_build >= 1
+        second = Session(store=ArtefactStore(tmp_path / "store", allow_pickle=True))
+        warm = second.space(SCENARIO)
+        assert warm.num_states() == space.num_states()
+        # The second session loaded, not rebuilt: no new space write.
+        assert second.store.stats()["writes"] == 0
+
+
+class TestKeySchema:
+    def test_identity_includes_op_scenario_and_schema_version(self):
+        identity = ArtefactStore.result_identity("check", SCENARIO.canonical_json())
+        parsed = json.loads(identity)
+        assert parsed["op"] == "check"
+        assert parsed["schema_version"] == SCHEMA_VERSION
+        assert json.loads(parsed["scenario"])["exchange"] == "floodset"
+
+    def test_engine_is_part_of_the_key(self, store):
+        key = _populate(store)
+        symbolic = SCENARIO.with_engine("symbolic").canonical_json()
+        assert key != symbolic
+        assert store.get_result("check", symbolic) is None
