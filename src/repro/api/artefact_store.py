@@ -22,6 +22,16 @@ versioned result JSON, shared safely between processes:
   a vanished directory) is counted and logged; the query that triggered it
   still answers from the freshly built artefact.
 
+* **The store is bounded.**  With ``max_bytes``/``max_entries`` set, a
+  compaction pass (:meth:`ArtefactStore.compact`) drops the least recently
+  used entries — recency is file mtime, refreshed on every hit — until the
+  live entries (``results/`` plus ``artefacts/``) fit the bounds again, and
+  the store runs that pass itself every ``compact_interval`` writes.
+  Compaction is safe under concurrent readers *in any process*: removal is
+  a plain ``unlink``, and a reader that loses the race simply sees a miss —
+  the same degraded path a crash or quarantine already exercises.  ``repro
+  store stats|compact`` runs the scan/pass from the command line.
+
 * **Pickled artefacts are opt-in.**  Typed results are plain JSON and safe
   to share.  Heavyweight build artefacts (levelled spaces) can also be
   stored, pickled, under ``artefacts/`` — but only when the store is
@@ -43,8 +53,9 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.results import SCHEMA_VERSION
 
@@ -58,13 +69,45 @@ _RESULTS_DIR = "results"
 _ARTEFACTS_DIR = "artefacts"
 _QUARANTINE_DIR = "quarantine"
 
+#: Subdirectories whose entries count towards the size/entry bounds.
+_BOUNDED_DIRS = (_RESULTS_DIR, _ARTEFACTS_DIR)
+
+#: Stray ``.tmp`` files (crashed writers) older than this are removed
+#: during compaction.
+_STALE_TMP_SECONDS = 3600.0
+
 
 class ArtefactStore:
-    """A process-shared, crash-consistent store of serialised artefacts."""
+    """A process-shared, crash-consistent store of serialised artefacts.
 
-    def __init__(self, root, allow_pickle: bool = False) -> None:
+    ``max_bytes``/``max_entries`` bound the live entries (see module docs);
+    ``compact_interval`` is how many successful writes may land between the
+    store's own compaction passes when a bound is configured.
+    """
+
+    def __init__(
+        self,
+        root,
+        allow_pickle: bool = False,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        compact_interval: int = 64,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if compact_interval < 1:
+            raise ValueError(
+                f"compact_interval must be >= 1, got {compact_interval}"
+            )
         self.root = Path(root)
         self.allow_pickle = bool(allow_pickle)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._compact_interval = compact_interval
+        self._writes_since_compact = 0
+        self._compact_lock = threading.Lock()
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {
             "hits": 0,
@@ -72,9 +115,15 @@ class ArtefactStore:
             "writes": 0,
             "write_errors": 0,
             "quarantined": 0,
+            "compactions": 0,
+            "compacted": 0,
         }
         for subdir in (_RESULTS_DIR, _ARTEFACTS_DIR, _QUARANTINE_DIR):
             (self.root / subdir).mkdir(parents=True, exist_ok=True)
+        if self.max_bytes is not None or self.max_entries is not None:
+            # A restarted process trims an over-bound directory immediately
+            # instead of waiting out the first compact_interval writes.
+            self.compact()
 
     # ---------------------------------------------------------------- keying
 
@@ -116,6 +165,14 @@ class ArtefactStore:
         with self._lock:
             self._counters[counter] += amount
 
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime so compaction sees it as recently used."""
+        try:
+            os.utime(str(path))
+        except OSError:  # raced with an unlink; the read already succeeded
+            pass
+
     def stats(self) -> Dict[str, int]:
         """A fresh snapshot of the store counters (safe to hand out)."""
         with self._lock:
@@ -139,6 +196,7 @@ class ArtefactStore:
             os.replace(tmp_name, str(path))
             tmp_name = None
             self._count("writes")
+            self._maybe_compact()
             return True
         except OSError as exc:
             reason = errno.errorcode.get(exc.errno, exc.errno) if exc.errno else exc
@@ -159,29 +217,182 @@ class ArtefactStore:
                     pass
 
     def quarantine(self, path: Path, reason: str) -> None:
-        """Move a bad entry aside (atomically) and log why.
+        """Move a bad entry aside (atomically, without clobbering) and log why.
 
         The moved file keeps its name under ``quarantine/`` (a numeric
-        suffix avoids clobbering an earlier quarantined generation), so an
-        operator can inspect what went wrong; the live directory is clean
-        again and the next query simply rebuilds.
+        suffix separates generations), so an operator can inspect what went
+        wrong; the live directory is clean again and the next query simply
+        rebuilds.  The claim on a quarantine name is an **exclusive-create
+        hard link**: ``os.link`` fails with ``EEXIST`` instead of silently
+        replacing, so two processes quarantining concurrently — or a new
+        corrupt generation racing an old one — can never overwrite a
+        quarantined file, unlike the probe-then-``os.replace`` dance this
+        replaces (the probe was stale by the time the replace ran).
         """
-        target = self.root / _QUARANTINE_DIR / path.name
+        quarantine_root = self.root / _QUARANTINE_DIR
+        target = quarantine_root / path.name
         attempt = 0
-        while target.exists() and attempt < 1000:
-            attempt += 1
-            target = self.root / _QUARANTINE_DIR / f"{path.name}.{attempt}"
-        try:
-            os.replace(str(path), str(target))
-        except OSError:
-            try:  # a racing reader may have quarantined it first
-                os.unlink(str(path))
+        linked = False
+        while True:
+            try:
+                os.link(str(path), str(target))
+                linked = True
+                break
+            except FileExistsError:
+                attempt += 1
+                if attempt > 1000:
+                    break
+                target = quarantine_root / f"{path.name}.{attempt}"
+            except FileNotFoundError:
+                break  # a racing process quarantined (or removed) it first
             except OSError:
+                # Filesystem without hard links: fall back to a rename onto
+                # a per-process-unique name, which no other process can be
+                # targeting, so it still cannot clobber a sibling's work.
+                target = quarantine_root / (
+                    f"{path.name}.pid{os.getpid()}.{attempt}"
+                )
+                try:
+                    os.replace(str(path), str(target))
+                    linked = True
+                except OSError:
+                    pass
+                break
+        if linked:
+            try:
+                os.unlink(str(path))
+            except OSError:  # raced: the link is what mattered
                 pass
         self._count("quarantined")
         logger.warning(
             "artefact store: quarantined %s (%s)", path.name, reason
         )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _bounded_entries(self) -> List[Tuple[float, int, Path]]:
+        """Live ``(mtime, size, path)`` entries, sweeping stale tmp files."""
+        now = time.time()
+        entries: List[Tuple[float, int, Path]] = []
+        for subdir in _BOUNDED_DIRS:
+            try:
+                listing = list(os.scandir(self.root / subdir))
+            except OSError:
+                continue
+            for item in listing:
+                try:
+                    stat = item.stat()
+                    if not item.is_file():
+                        continue
+                    if item.name.endswith(".tmp"):
+                        # A crashed writer's leavings; sweep once stale.
+                        if now - stat.st_mtime > _STALE_TMP_SECONDS:
+                            os.unlink(item.path)
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, Path(item.path)))
+                except OSError:  # vanished mid-scan: someone else's unlink
+                    continue
+        return entries
+
+    def disk_stats(self) -> Dict[str, Dict[str, int]]:
+        """On-disk entry counts and byte totals, per subdirectory.
+
+        ``total`` covers the bounded set (``results`` + ``artefacts``) —
+        the number compaction compares against ``max_bytes``/``max_entries``.
+        ``quarantine`` is reported alongside but never counts towards the
+        bounds (it is diagnostic state an operator clears by hand).
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        total = {"entries": 0, "bytes": 0}
+        for subdir in _BOUNDED_DIRS + (_QUARANTINE_DIR,):
+            entries = 0
+            size = 0
+            try:
+                listing = list(os.scandir(self.root / subdir))
+            except OSError:
+                listing = []
+            for item in listing:
+                try:
+                    if not item.is_file() or item.name.endswith(".tmp"):
+                        continue
+                    entries += 1
+                    size += item.stat().st_size
+                except OSError:
+                    continue
+            stats[subdir] = {"entries": entries, "bytes": size}
+            if subdir in _BOUNDED_DIRS:
+                total["entries"] += entries
+                total["bytes"] += size
+        stats["total"] = total
+        return stats
+
+    def _maybe_compact(self) -> None:
+        """Run the store's own compaction pass every ``compact_interval`` writes."""
+        if self.max_bytes is None and self.max_entries is None:
+            return
+        with self._lock:
+            self._writes_since_compact += 1
+            due = self._writes_since_compact >= self._compact_interval
+            if due:
+                self._writes_since_compact = 0
+        if due:
+            self.compact()
+
+    def compact(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Drop least-recently-used entries until the store fits its bounds.
+
+        Recency is mtime — refreshed on every read hit, so the pass is a
+        true LRU, not insertion order.  Arguments override the configured
+        bounds for one pass (the ``repro store compact`` command).  Removal
+        is plain ``unlink``: concurrent readers in other processes observe
+        either the entry or a miss, never an error, and two concurrent
+        compactors merely race to remove the same victims.  Returns a
+        summary of what was examined, kept and removed.
+        """
+        bound_bytes = self.max_bytes if max_bytes is None else max_bytes
+        bound_entries = self.max_entries if max_entries is None else max_entries
+        with self._compact_lock:
+            entries = self._bounded_entries()
+            entries.sort(key=lambda entry: entry[0], reverse=True)  # newest first
+            kept = kept_bytes = 0
+            removed = removed_bytes = 0
+            for _mtime, size, path in entries:
+                over_entries = (
+                    bound_entries is not None and kept + 1 > bound_entries
+                )
+                over_bytes = (
+                    bound_bytes is not None and kept_bytes + size > bound_bytes
+                )
+                if not over_entries and not over_bytes:
+                    kept += 1
+                    kept_bytes += size
+                    continue
+                try:
+                    os.unlink(str(path))
+                except OSError:  # already gone: a racing compactor's unlink
+                    continue
+                removed += 1
+                removed_bytes += size
+        if removed:
+            self._count("compacted", removed)
+        self._count("compactions")
+        if removed:
+            logger.info(
+                "artefact store: compacted %d entries (%d bytes); "
+                "%d entries (%d bytes) remain",
+                removed, removed_bytes, kept, kept_bytes,
+            )
+        return {
+            "examined": len(entries),
+            "kept": kept,
+            "kept_bytes": kept_bytes,
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+        }
 
     # -------------------------------------------------------------- results
 
@@ -232,6 +443,7 @@ class ArtefactStore:
             self._count("misses")
             return None
         self._count("hits")
+        self._touch(path)
         return record["result"]
 
     @staticmethod
@@ -300,4 +512,5 @@ class ArtefactStore:
             self._count("misses")
             return None
         self._count("hits")
+        self._touch(path)
         return record.get("artefact")

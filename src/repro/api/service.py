@@ -17,7 +17,9 @@ Endpoints (all JSON):
   "synthesize", "scenario": {...}}, ...]}``; runs the whole batch on the
   shared session and returns the results in order.
 * ``GET /health`` — liveness probe (also reports the cache statistics).
-* ``GET /stats`` — the session's cumulative cache statistics.
+* ``GET /stats`` — the session's cumulative cache statistics; under
+  ``--workers N`` also every worker's labelled counters plus their
+  aggregate.
 
 Every successful response carries ``{"ok": true, "result": <typed result
 JSON>, "cache": <stats>}``; the result payloads are the versioned schema of
@@ -26,25 +28,45 @@ back as ``{"ok": false, "error": ...}`` with a 4xx status.  Scenario
 documents are validated by :meth:`Scenario.from_json`, so a typo'd field is
 a 400, never a silently-defaulted query.
 
-The server is a ``ThreadingHTTPServer`` over one shared session with
-per-cache-key build locks: concurrent *different* requests build their
-artefacts in parallel, while concurrent *identical* requests coalesce onto
-a single build (visible as the ``coalesced`` counter in ``/stats``).  With
-``--store DIR`` the session is backed by a persistent
-:class:`~repro.api.artefact_store.ArtefactStore`, so a restarted or second
-server process pointed at the same directory answers repeated queries from
-the store tier instead of rebuilding.
+**Connection discipline.**  The handler speaks HTTP/1.1 keep-alive, which
+makes request framing load-bearing: an error response may only reuse the
+connection when the request body was consumed in full, so any response sent
+with unread body bytes still on the socket carries ``Connection: close``
+(the alternative — draining an arbitrarily large or lying ``Content-Length``
+— is an invitation to hang).  A client that disconnects mid-response is
+terminal for that connection: the broken pipe is swallowed, nothing further
+is written, and no traceback is logged.
+
+**Scaling out.**  The server is a ``ThreadingHTTPServer`` over one shared
+session with per-cache-key build locks: concurrent *different* requests
+build their artefacts in parallel, while concurrent *identical* requests
+coalesce onto a single build (the ``coalesced`` counter in ``/stats``).
+Pure-Python builds are still GIL-bound inside one process, so ``repro serve
+--workers N`` forks N worker processes that all ``accept()`` on one
+listening socket bound by the parent (kernel-level load balancing); the
+parent supervises — dead workers are restarted with backoff, SIGINT/SIGTERM
+fan out to every worker, and shutdown drains in-flight requests.  With
+``--store DIR`` the workers share one persistent
+:class:`~repro.api.artefact_store.ArtefactStore`, so one worker's cold
+build warms its siblings (and any later process) through the store tier.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple
 
 from repro.api.artefact_store import ArtefactStore
 from repro.api.scenario import Scenario
-from repro.api.session import QUERY_OPS, Session
+from repro.api.session import QUERY_OPS, Session, SessionStats
 
 #: Default bind address and port for ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -52,6 +74,40 @@ DEFAULT_PORT = 8765
 
 #: Largest accepted request body, a guard against accidental floods.
 MAX_BODY_BYTES = 1 << 20
+
+#: Seconds a shutting-down worker waits for in-flight requests to finish.
+DRAIN_SECONDS = 10.0
+
+#: Seconds the supervising parent gives workers to exit after fan-out
+#: before escalating to SIGKILL.
+SHUTDOWN_GRACE_SECONDS = 10.0
+
+#: Benchmark seam: when this environment variable holds a positive float,
+#: every cold *result* build additionally sleeps that many seconds while
+#: holding a process-wide lock.  That models CPU-bound pure-Python compute
+#: faithfully with respect to the GIL — serialised against every other
+#: build in the same process, concurrent across forked workers — which is
+#: what ``benchmarks/test_perf_api.py`` needs to measure the pre-fork
+#: front on single-core machines where real compute cannot parallelise
+#: anywhere.  Unset (the default) it changes nothing.
+BUILD_DELAY_ENV = "REPRO_SERVE_BUILD_DELAY"
+
+#: Supervisor restart backoff base, overridable for tests via
+#: ``REPRO_SERVE_RESTART_BACKOFF`` (seconds; doubles per consecutive
+#: restart of the same worker slot, capped at 30s).
+RESTART_BACKOFF_ENV = "REPRO_SERVE_RESTART_BACKOFF"
+DEFAULT_RESTART_BACKOFF = 1.0
+
+#: Accept backpressure for pre-fork workers: a worker stops pulling new
+#: connections while this many are already open, so the next connection
+#: stays in the shared listen backlog for an idle sibling to ``accept()``.
+#: Without it the kernel's LIFO ``accept()`` wake-up lets one worker hoard
+#: connections — its accept loop stays fast even while its handler threads
+#: queue behind the GIL.  Two keeps a build and a quick request (a hit, a
+#: ``/stats`` probe) concurrent without letting a backlog form.
+WORKER_MAX_INFLIGHT = 2
+
+_STATS_DIR_NAME = "stats"
 
 
 class ServiceError(ValueError):
@@ -90,14 +146,28 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     def session(self) -> Session:
         return self.server.session
 
+    def _begin_request(self) -> None:
+        self._body_consumed = False
+        self._connection_dead = False
+        self.server.request_begun()
+
+    def _end_request(self) -> None:
+        self.server.request_done()
+        self.server.publish_stats()
+
     def _read_body(self) -> object:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError as exc:
             raise ServiceError("Content-Length header is not an integer") from exc
+        if length < 0:
+            # rfile.read(-N) would read to EOF and hang the keep-alive
+            # connection; a negative length is a malformed request, full stop.
+            raise ServiceError("Content-Length must be a non-negative integer")
         if length > MAX_BODY_BYTES:
             raise ServiceError("request body too large", status=413)
         raw = self.rfile.read(length) if length else b""
+        self._body_consumed = True
         if not raw:
             raise ServiceError("request body must be JSON (got an empty body)")
         try:
@@ -105,34 +175,77 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise ServiceError(f"request body is not valid JSON: {exc}") from exc
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _body_left_on_socket(self) -> bool:
+        """Whether unread (or unknowable) request-body bytes remain.
+
+        True means the connection cannot be reused for another request:
+        whatever follows on the socket is body, not a request line.
+        """
+        if getattr(self, "_body_consumed", False):
+            return False
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return False  # no declared body (the usual GET / 404 case)
+        try:
+            return int(raw) != 0
+        except ValueError:
+            return True  # a lying header: nothing about the socket is known
+
+    def _respond(self, status: int, payload: dict, close: bool = False) -> None:
         body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if close:
+                # send_header("Connection", "close") also flips
+                # self.close_connection, ending the keep-alive loop.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, socket.timeout) as exc:
+            # The client went away mid-response.  That is terminal for the
+            # connection: never write again (a "second response" would go
+            # to a dead socket) and never log a traceback for it.
+            self._connection_dead = True
+            self.close_connection = True
+            if getattr(self.server, "verbose", False):
+                self.log_message("client disconnected mid-response: %r", exc)
 
     def _respond_ok(self, payload: dict) -> None:
         payload = dict(payload)
         payload["ok"] = True
         payload["cache"] = self.session.stats().to_json()
+        if self.server.worker_label is not None:
+            payload["worker"] = self.server.worker_label
         self._respond(200, payload)
 
     def _respond_error(self, status: int, message: str) -> None:
-        self._respond(status, {"ok": False, "error": message})
+        if getattr(self, "_connection_dead", False):
+            return
+        self._respond(
+            status, {"ok": False, "error": message},
+            close=self._body_left_on_socket(),
+        )
 
     # ------------------------------------------------------------- endpoints
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        if self.path in ("/health", "/healthz"):
-            self._respond_ok({"status": "serving"})
-        elif self.path == "/stats":
-            self._respond_ok({})
-        else:
-            self._respond_error(404, f"unknown endpoint {self.path!r}")
+        self._begin_request()
+        try:
+            if self.path in ("/health", "/healthz"):
+                self._respond_ok({"status": "serving"})
+            elif self.path == "/stats":
+                self._respond_ok(self.server.stats_payload())
+            else:
+                self._respond_error(404, f"unknown endpoint {self.path!r}")
+        except ConnectionError:
+            self.close_connection = True
+        finally:
+            self._end_request()
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._begin_request()
         try:
             if self.path == "/check":
                 self._handle_check()
@@ -144,8 +257,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 self._respond_error(404, f"unknown endpoint {self.path!r}")
         except ServiceError as exc:
             self._respond_error(exc.status, str(exc))
+        except ConnectionError:
+            # Reading from (or responding to) a dead connection: terminal,
+            # nothing further to say to anyone.
+            self.close_connection = True
         except Exception as exc:  # pragma: no cover - defensive: report, don't die
-            self._respond_error(500, f"internal error: {exc}")
+            if not getattr(self, "_connection_dead", False):
+                self._respond_error(500, f"internal error: {exc}")
+        finally:
+            self._end_request()
 
     def _handle_check(self) -> None:
         document = self._read_body()
@@ -194,7 +314,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
 
 class ReproServer(ThreadingHTTPServer):
-    """A threading HTTP server with a shared :class:`Session`."""
+    """A threading HTTP server with a shared :class:`Session`.
+
+    ``listening_socket`` adopts an already-bound socket instead of binding a
+    new one — the pre-fork front binds once in the parent and every forked
+    worker accepts on its inherited copy.  ``worker_label``/``stats_dir``
+    wire the worker into the aggregated ``/stats`` view: after each request
+    the worker publishes its counter snapshot to ``stats_dir``, and any
+    worker answering ``/stats`` reads all of its siblings' snapshots back.
+    """
 
     daemon_threads = True
 
@@ -203,10 +331,129 @@ class ReproServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         session: Optional[Session] = None,
         verbose: bool = False,
+        listening_socket: Optional[socket.socket] = None,
+        worker_label: Optional[str] = None,
+        stats_dir: Optional[str] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
-        super().__init__(address, ReproRequestHandler)
+        super().__init__(address, ReproRequestHandler, bind_and_activate=False)
+        if listening_socket is not None:
+            self.socket.close()
+            self.socket = listening_socket
+            host, port = listening_socket.getsockname()[:2]
+            self.server_address = (host, port)
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
+        else:
+            self.server_bind()
+            self.server_activate()
         self.session = session if session is not None else Session()
         self.verbose = verbose
+        self.worker_label = worker_label
+        self.stats_dir = stats_dir
+        self.max_inflight = max_inflight
+        self._active_requests = 0
+        self._active_connections = 0
+        self._active_lock = threading.Lock()
+
+    def server_activate(self) -> None:
+        # Adopted sockets are already listening; activating again is fine
+        # for fresh binds and a no-op for inherited ones.
+        self.socket.listen(self.request_queue_size)
+
+    def get_request(self):
+        # Accept backpressure (see WORKER_MAX_INFLIGHT): while this worker
+        # is saturated, leave the ready connection in the shared listen
+        # backlog for an idle sibling instead of accepting and queueing it
+        # behind our in-flight builds.  Saturation counts *connections*
+        # from accept to close — the accept loop re-enters this method
+        # before the handler thread has even begun the request, so a
+        # requests-begun counter would race and let extra connections in.
+        # The wait breaks immediately on shutdown so a saturated worker
+        # still drains promptly.
+        if self.max_inflight is not None:
+            while (self.active_connections >= self.max_inflight
+                   and not getattr(self, "_BaseServer__shutdown_request",
+                                   False)):
+                time.sleep(0.005)
+        request, client_address = super().get_request()
+        with self._active_lock:
+            self._active_connections += 1
+        return request, client_address
+
+    def shutdown_request(self, request):
+        try:
+            super().shutdown_request(request)
+        finally:
+            with self._active_lock:
+                self._active_connections -= 1
+
+    # ------------------------------------------------------------- draining
+
+    def request_begun(self) -> None:
+        with self._active_lock:
+            self._active_requests += 1
+
+    def request_done(self) -> None:
+        with self._active_lock:
+            self._active_requests -= 1
+
+    @property
+    def active_requests(self) -> int:
+        with self._active_lock:
+            return self._active_requests
+
+    @property
+    def active_connections(self) -> int:
+        with self._active_lock:
+            return self._active_connections
+
+    # ------------------------------------------------- per-worker statistics
+
+    def publish_stats(self) -> None:
+        """Write this worker's labelled counter snapshot for aggregation."""
+        if self.stats_dir is None or self.worker_label is None:
+            return
+        record = {
+            "worker": self.worker_label,
+            "pid": os.getpid(),
+            "updated": time.time(),
+            "cache": self.session.stats().to_json(),
+        }
+        path = Path(self.stats_dir) / f"{self.worker_label}.json"
+        tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            os.replace(str(tmp), str(path))
+        except OSError:  # stats are best-effort; serving must not care
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The extra ``/stats`` payload: per-worker views plus aggregate."""
+        if self.stats_dir is None:
+            return {}
+        self.publish_stats()  # this worker's own view must be fresh
+        workers: Dict[str, Dict[str, object]] = {}
+        try:
+            entries = sorted(Path(self.stats_dir).glob("worker-*.json"))
+        except OSError:  # pragma: no cover - stats dir vanished
+            entries = []
+        for entry in entries:
+            try:
+                record = json.loads(entry.read_text())
+            except (OSError, ValueError):  # torn or vanished: skip this one
+                continue
+            if isinstance(record, dict) and isinstance(record.get("cache"), dict):
+                workers[str(record.get("worker", entry.stem))] = record
+        return {
+            "workers": workers,
+            "aggregate": SessionStats.aggregate_json(
+                [record["cache"] for record in workers.values()]
+            ),
+        }
 
 
 def make_server(
@@ -214,9 +461,228 @@ def make_server(
     port: int = DEFAULT_PORT,
     session: Optional[Session] = None,
     verbose: bool = False,
+    listening_socket: Optional[socket.socket] = None,
+    worker_label: Optional[str] = None,
+    stats_dir: Optional[str] = None,
+    max_inflight: Optional[int] = None,
 ) -> ReproServer:
     """Build (but do not start) a service instance; ``port=0`` picks a free port."""
-    return ReproServer((host, port), session=session, verbose=verbose)
+    return ReproServer(
+        (host, port), session=session, verbose=verbose,
+        listening_socket=listening_socket, worker_label=worker_label,
+        stats_dir=stats_dir, max_inflight=max_inflight,
+    )
+
+
+# --------------------------------------------------------------- serve fronts
+
+
+def _build_session(
+    cache_size: int,
+    store_dir: Optional[str],
+    store_pickle: bool,
+    store_max_bytes: Optional[int] = None,
+    store_max_entries: Optional[int] = None,
+) -> Session:
+    """The serving session, honouring the benchmark build-delay seam."""
+    store = None
+    if store_dir is not None:
+        store = ArtefactStore(
+            store_dir, allow_pickle=store_pickle,
+            max_bytes=store_max_bytes, max_entries=store_max_entries,
+        )
+    try:
+        delay = float(os.environ.get(BUILD_DELAY_ENV) or 0.0)
+    except ValueError:
+        delay = 0.0
+    if delay <= 0:
+        return Session(max_entries=cache_size, store=store)
+
+    gil_model = threading.Lock()  # one per process, like the GIL it models
+
+    class _SimulatedComputeSession(Session):
+        def _invoke_build(self, key, build):
+            if key[0] == "result":
+                with gil_model:
+                    time.sleep(delay)
+            return super()._invoke_build(key, build)
+
+    return _SimulatedComputeSession(max_entries=cache_size, store=store)
+
+
+def _run_worker(
+    listening_socket: socket.socket,
+    label: str,
+    cache_size: int,
+    verbose: bool,
+    store_dir: Optional[str],
+    store_pickle: bool,
+    store_max_bytes: Optional[int],
+    store_max_entries: Optional[int],
+    stats_dir: str,
+) -> int:
+    """One forked worker: accept on the inherited socket until signalled."""
+    server = make_server(
+        session=_build_session(
+            cache_size, store_dir, store_pickle,
+            store_max_bytes, store_max_entries,
+        ),
+        verbose=verbose,
+        listening_socket=listening_socket,
+        worker_label=label,
+        stats_dir=stats_dir,
+        max_inflight=WORKER_MAX_INFLIGHT,
+    )
+
+    def _shut_down(signum, frame):  # noqa: ARG001 - signal handler shape
+        # shutdown() blocks until serve_forever() exits, and *this* thread
+        # is inside serve_forever — hand the call to a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shut_down)
+    signal.signal(signal.SIGINT, _shut_down)
+    server.publish_stats()  # visible in /stats before the first request
+    try:
+        server.serve_forever(poll_interval=0.1)
+        deadline = time.monotonic() + DRAIN_SECONDS
+        while server.active_requests and time.monotonic() < deadline:
+            time.sleep(0.05)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _restart_backoff() -> float:
+    try:
+        value = float(
+            os.environ.get(RESTART_BACKOFF_ENV) or DEFAULT_RESTART_BACKOFF
+        )
+    except ValueError:
+        value = DEFAULT_RESTART_BACKOFF
+    return max(value, 0.0)
+
+
+def _serve_prefork(
+    host: str,
+    port: int,
+    workers: int,
+    cache_size: int,
+    verbose: bool,
+    store_dir: Optional[str],
+    store_pickle: bool,
+    store_max_bytes: Optional[int],
+    store_max_entries: Optional[int],
+) -> int:
+    """The pre-fork front: bind once, fork N accept-loop workers, supervise.
+
+    Every worker runs the full threaded server over its inherited copy of
+    the one listening socket, so the kernel load-balances connections at
+    ``accept()`` level.  The parent only supervises: a worker that dies is
+    restarted (with exponential backoff per worker slot, so a crash loop
+    cannot spin), SIGINT/SIGTERM fan out to every worker, and workers that
+    ignore the fan-out are SIGKILLed after a grace period.
+    """
+    listening = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listening.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listening.bind((host, port))
+    except OSError:
+        listening.close()
+        raise
+    listening.listen(128)
+    bound_host, bound_port = listening.getsockname()[:2]
+
+    if store_dir is not None:
+        stats_root = Path(store_dir) / _STATS_DIR_NAME
+    else:
+        import tempfile
+
+        stats_root = Path(tempfile.mkdtemp(prefix="repro-serve-stats-"))
+    stats_root.mkdir(parents=True, exist_ok=True)
+
+    def spawn(index: int) -> int:
+        pid = os.fork()
+        if pid == 0:
+            # Forked worker: shed the parent's supervisor state before
+            # anything can go wrong, then serve.
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            signal.signal(signal.SIGINT, signal.SIG_DFL)
+            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+            code = 1
+            try:
+                code = _run_worker(
+                    listening, f"worker-{index}", cache_size, verbose,
+                    store_dir, store_pickle, store_max_bytes,
+                    store_max_entries, str(stats_root),
+                )
+            except KeyboardInterrupt:  # pragma: no cover - pre-handler race
+                code = 0
+            finally:
+                os._exit(code)
+        return pid
+
+    children: Dict[int, int] = {}  # pid -> worker slot index
+    restarts: Dict[int, int] = {}  # worker slot index -> consecutive restarts
+    stopping = False
+    backoff_base = _restart_backoff()
+
+    def _fan_out(signum, frame):  # noqa: ARG001 - signal handler shape
+        nonlocal stopping
+        stopping = True
+        for pid in list(children):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        # If a worker ignores the fan-out, escalate via SIGALRM.
+        signal.alarm(int(SHUTDOWN_GRACE_SECONDS))
+
+    def _escalate(signum, frame):  # noqa: ARG001 - signal handler shape
+        for pid in list(children):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+    signal.signal(signal.SIGTERM, _fan_out)
+    signal.signal(signal.SIGINT, _fan_out)
+    signal.signal(signal.SIGALRM, _escalate)
+
+    for index in range(workers):
+        children[spawn(index)] = index
+
+    store_note = f"; store {store_dir}" if store_dir is not None else ""
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"({workers} workers, cache {cache_size} entries per worker"
+          f"{store_note}; endpoints: /check /synthesize /batch /health "
+          f"/stats)", flush=True)
+
+    while children:
+        try:
+            pid, status = os.waitpid(-1, 0)
+        except ChildProcessError:  # pragma: no cover - all children reaped
+            break
+        except InterruptedError:  # pragma: no cover - pre-3.5 semantics
+            continue
+        index = children.pop(pid, None)
+        if index is None or stopping:
+            continue
+        exit_code = os.waitstatus_to_exitcode(status)
+        restarts[index] = restarts.get(index, 0) + 1
+        delay = min(backoff_base * (2 ** (restarts[index] - 1)), 30.0)
+        print(f"repro serve: worker-{index} (pid {pid}) exited "
+              f"unexpectedly ({exit_code}); restarting in {delay:.1f}s",
+              file=sys.stderr, flush=True)
+        if delay:
+            time.sleep(delay)
+        if stopping:  # the fan-out signal may land during the backoff sleep
+            continue
+        children[spawn(index)] = index
+
+    signal.alarm(0)
+    listening.close()
+    print("repro serve: shut down", flush=True)
+    return 0
 
 
 def serve(
@@ -226,6 +692,9 @@ def serve(
     verbose: bool = False,
     store_dir: Optional[str] = None,
     store_pickle: bool = False,
+    workers: int = 1,
+    store_max_bytes: Optional[int] = None,
+    store_max_entries: Optional[int] = None,
 ) -> int:
     """Run the JSON service until interrupted (the ``repro serve`` command).
 
@@ -234,12 +703,29 @@ def serve(
     first answered by *another* process sharing the directory — are served
     from it without rebuilding.  ``store_pickle`` additionally persists
     pickled space artefacts (only enable for trusted store directories).
+    ``store_max_bytes``/``store_max_entries`` bound the store: the session
+    compacts it (oldest entries first, by mtime) as it writes.
+
+    ``workers > 1`` runs the pre-fork front: the socket is bound once here,
+    then N forked workers accept on it concurrently — the way to put every
+    core behind one port, since a single CPython process is GIL-bound on
+    cold builds no matter how its threads are arranged.
     """
-    store = ArtefactStore(store_dir, allow_pickle=store_pickle) \
-        if store_dir is not None else None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            raise ValueError("--workers requires a platform with os.fork")
+        return _serve_prefork(
+            host, port, workers, cache_size, verbose, store_dir,
+            store_pickle, store_max_bytes, store_max_entries,
+        )
     server = make_server(
         host, port,
-        session=Session(max_entries=cache_size, store=store),
+        session=_build_session(
+            cache_size, store_dir, store_pickle,
+            store_max_bytes, store_max_entries,
+        ),
         verbose=verbose,
     )
     bound_host, bound_port = server.server_address[:2]

@@ -56,7 +56,17 @@ from repro.api.cache import (
 )
 from repro.api.results import CheckResult, SynthesisResult, result_from_json
 from repro.api.scenario import Scenario
+
+# Everything a query can build must be imported eagerly, *not* inside the
+# build closures: a fresh serving process taking concurrent first requests
+# would otherwise run these imports from several threads at once, and the
+# import machinery's circular-import deadlock avoidance can hand one thread
+# a partially initialised module (seen as 500s on the first cold barrage).
+from repro.core import synthesis
 from repro.engines import checker_for
+from repro.kbp.implementation import verify_sba_implementation
+from repro.spec.eba import eba_spec_formulas
+from repro.spec.sba import sba_spec_formulas
 from repro.systems.space import build_space
 
 #: The query kinds a session (and the JSON service) understands.
@@ -107,6 +117,45 @@ class SessionStats:
         }
         if self.store is not None:
             data["store"] = dict(self.store)
+        return data
+
+    @staticmethod
+    def aggregate_json(
+        snapshots: Iterable[Mapping[str, object]],
+    ) -> Dict[str, object]:
+        """Merge per-worker ``to_json`` snapshots into one summed view.
+
+        The pre-fork serve front runs one session per worker process;
+        ``/stats`` aggregates their labelled snapshots with this helper.
+        Integer counters sum (including the nested ``store`` counters —
+        each worker's view of its traffic against the one shared store),
+        and ``hit_rate`` is recomputed from the summed totals rather than
+        averaged, so busy workers weigh what idle ones cannot dilute.
+        """
+        totals: Dict[str, int] = {}
+        store_totals: Dict[str, int] = {}
+        saw_store = False
+        count = 0
+        for snapshot in snapshots:
+            count += 1
+            for field, value in snapshot.items():
+                if field == "store" and isinstance(value, Mapping):
+                    saw_store = True
+                    for counter, amount in value.items():
+                        if isinstance(amount, int):
+                            store_totals[counter] = (
+                                store_totals.get(counter, 0) + amount
+                            )
+                elif isinstance(value, int) and not isinstance(value, bool):
+                    totals[field] = totals.get(field, 0) + value
+        data: Dict[str, object] = dict(totals)
+        data["workers"] = count
+        lookups = totals.get("hits", 0) + totals.get("misses", 0)
+        data["hit_rate"] = (
+            round(totals.get("hits", 0) / lookups, 4) if lookups else 0.0
+        )
+        if saw_store:
+            data["store"] = store_totals
         return data
 
 
@@ -337,11 +386,7 @@ class Session:
         def build():
             model = self.model(scenario)
             if scenario.family == "sba":
-                from repro.spec.sba import sba_spec_formulas
-
                 return sba_spec_formulas(model, horizon)
-            from repro.spec.eba import eba_spec_formulas
-
             return eba_spec_formulas(model, horizon)
 
         return self._memo(key, build)
@@ -359,18 +404,13 @@ class Session:
 
         def build():
             model = self.model(scenario)
-            if scenario.family == "sba":
-                from repro.core.synthesis import synthesize_sba
-
-                return synthesize_sba(
-                    model,
-                    horizon=scenario.rounds,
-                    max_states=scenario.max_states,
-                    engine=scenario.engine,
-                )
-            from repro.core.synthesis import synthesize_eba
-
-            return synthesize_eba(
+            # Late attribute lookup keeps the module's test seam intact
+            # (synthesis.synthesize_* can still be monkeypatched).
+            synthesize = (
+                synthesis.synthesize_sba if scenario.family == "sba"
+                else synthesis.synthesize_eba
+            )
+            return synthesize(
                 model,
                 horizon=scenario.rounds,
                 max_states=scenario.max_states,
@@ -475,8 +515,6 @@ class Session:
             return result
         # The verifier shares the checker's engine state (one symbolic
         # encoder per scenario, not one for the spec and one for the guards).
-        from repro.kbp.implementation import verify_sba_implementation
-
         report = verify_sba_implementation(
             model, protocol, space=space, engine=scenario.engine, checker=checker
         )

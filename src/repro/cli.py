@@ -11,6 +11,9 @@ Examples::
     python -m repro check --exchange floodset --agents 3 --faulty 2 --engine symbolic
     python -m repro table3 --max-n 3 --engine symbolic --output table3-sym.jsonl
     python -m repro serve --port 8765
+    python -m repro serve --workers 4 --store /var/cache/repro --store-max-bytes 268435456
+    python -m repro store stats /var/cache/repro
+    python -m repro store compact /var/cache/repro --max-entries 1000
 
 Every command goes through the :mod:`repro.api` facade: ``check`` and
 ``synthesize`` construct a validated :class:`~repro.api.Scenario`, the table
@@ -223,6 +226,18 @@ def _serve_command(args: argparse.Namespace) -> int:
     if args.cache_size < 1:
         print("--cache-size must be at least 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    for flag, value in (("--store-max-bytes", args.store_max_bytes),
+                        ("--store-max-entries", args.store_max_entries)):
+        if value is not None:
+            if args.store is None:
+                print(f"{flag} requires --store", file=sys.stderr)
+                return 2
+            if value < 1:
+                print(f"{flag} must be at least 1", file=sys.stderr)
+                return 2
     return serve(
         host=args.host,
         port=args.port,
@@ -230,7 +245,39 @@ def _serve_command(args: argparse.Namespace) -> int:
         verbose=not args.quiet,
         store_dir=args.store,
         store_pickle=args.store_pickle,
+        workers=args.workers,
+        store_max_bytes=args.store_max_bytes,
+        store_max_entries=args.store_max_entries,
     )
+
+
+def _store_command(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api.artefact_store import ArtefactStore
+
+    if not os.path.isdir(args.dir):
+        print(f"no store directory at {args.dir}", file=sys.stderr)
+        return 2
+    store = ArtefactStore(args.dir)
+    if args.store_command == "stats":
+        print(json.dumps(store.disk_stats(), indent=2, sort_keys=True))
+        return 0
+    # compact
+    if args.max_bytes is None and args.max_entries is None:
+        print("store compact needs --max-bytes and/or --max-entries",
+              file=sys.stderr)
+        return 2
+    for flag, value in (("--max-bytes", args.max_bytes),
+                        ("--max-entries", args.max_entries)):
+        if value is not None and value < 1:
+            print(f"{flag} must be at least 1", file=sys.stderr)
+            return 2
+    summary = store.compact(
+        max_bytes=args.max_bytes, max_entries=args.max_entries
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def _add_failures_argument(parser: argparse.ArgumentParser) -> None:
@@ -324,9 +371,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also persist pickled space artefacts in --store "
                           "(unpickling runs code: only for trusted store "
                           "directories)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="serve from this many forked worker processes "
+                          "accepting on one shared socket (default 1; use "
+                          "one per core to put the whole machine behind "
+                          "one port — a single process is GIL-bound on "
+                          "cold builds)")
+    srv.add_argument("--store-max-bytes", type=int, default=None,
+                     metavar="N",
+                     help="bound the --store directory to ~N bytes of live "
+                          "entries; least recently used entries are "
+                          "compacted away as the service writes")
+    srv.add_argument("--store-max-entries", type=int, default=None,
+                     metavar="N",
+                     help="bound the --store directory to N live entries "
+                          "(compacted like --store-max-bytes)")
     srv.add_argument("--quiet", action="store_true",
                      help="do not log individual requests")
     srv.set_defaults(func=_serve_command)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or compact a persistent artefact store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_commands.add_parser(
+        "stats", help="print entry counts and byte totals per subdirectory"
+    )
+    store_stats.add_argument("dir", help="the artefact store directory")
+    store_stats.set_defaults(func=_store_command)
+    store_compact = store_commands.add_parser(
+        "compact",
+        help="drop least-recently-used entries until the store fits "
+             "the given bounds",
+    )
+    store_compact.add_argument("dir", help="the artefact store directory")
+    store_compact.add_argument("--max-bytes", type=int, default=None,
+                               metavar="N", help="byte bound to compact to")
+    store_compact.add_argument("--max-entries", type=int, default=None,
+                               metavar="N", help="entry bound to compact to")
+    store_compact.set_defaults(func=_store_command)
 
     return parser
 

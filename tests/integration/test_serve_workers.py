@@ -1,0 +1,135 @@
+"""End-to-end test of the pre-fork front: ``repro serve --workers N``.
+
+The front runs as a real subprocess (the exact shape the CI service-smoke
+job drives): the parent binds the socket and forks two workers that share
+one ``--store`` directory.  One test walks the whole lifecycle — serve
+from both workers, aggregate their ``/stats``, survive a SIGKILLed worker
+through supervised restart, and shut down cleanly on SIGINT — because the
+subprocess start-up (fork + cold builds) is the expensive part and every
+stage builds on the previous one's state.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import repro
+
+#: src/ directory for subprocess PYTHONPATH (tests may run from anywhere).
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SCENARIOS = [
+    {"exchange": "floodset", "num_agents": agents, "max_faulty": 1}
+    for agents in (2, 3, 4)
+]
+
+_BANNER = re.compile(r"http://[\d.]+:(\d+)")
+
+
+def _env():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    env["REPRO_SERVE_RESTART_BACKOFF"] = "0.1"  # fast restarts for the test
+    return env
+
+
+def _post(url, payload, timeout=120):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _barrage(url, rounds=2):
+    """Concurrent requests on fresh connections, so both workers accept."""
+    responses = []
+    errors = []
+
+    def worker(scenario):
+        try:
+            responses.append(_post(url + "/check", {"scenario": scenario}))
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    for _ in range(rounds):
+        threads = [threading.Thread(target=worker, args=(scenario,))
+                   for scenario in SCENARIOS for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+    assert not errors, errors
+    return responses
+
+
+def test_prefork_lifecycle(tmp_path):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--store", str(tmp_path / "store"), "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    try:
+        banner = process.stdout.readline()
+        match = _BANNER.search(banner)
+        assert match, f"no serve banner (got {banner!r})"
+        assert "2 workers" in banner
+        url = f"http://127.0.0.1:{match.group(1)}"
+
+        # --- both workers serve, and every answer is labelled -------------
+        responses = _barrage(url)
+        assert all(status == 200 for status, _ in responses)
+        labels = {body["worker"] for _, body in responses}
+        assert labels <= {"worker-0", "worker-1"}
+
+        # --- /stats aggregates both workers' counters ---------------------
+        _, stats = _get(url + "/stats")
+        workers = stats["workers"]
+        assert set(workers) == {"worker-0", "worker-1"}
+        pids = {label: record["pid"] for label, record in workers.items()}
+        assert pids["worker-0"] != pids["worker-1"]
+        aggregate = stats["aggregate"]
+        assert aggregate["workers"] == 2
+        per_worker = [record["cache"] for record in workers.values()]
+        assert aggregate["hits"] == sum(view["hits"] for view in per_worker)
+        assert aggregate["misses"] == sum(view["misses"] for view in per_worker)
+
+        # --- a killed worker is restarted under a new pid -----------------
+        os.kill(pids["worker-0"], signal.SIGKILL)
+        deadline = time.time() + 60
+        new_pid = None
+        while time.time() < deadline:
+            _, stats = _get(url + "/stats")
+            record = stats["workers"].get("worker-0")
+            if record and record["pid"] != pids["worker-0"]:
+                new_pid = record["pid"]
+                break
+            time.sleep(0.2)
+        assert new_pid is not None, "worker-0 was not restarted"
+
+        # --- the restarted front still answers ----------------------------
+        status, body = _post(url + "/check", {"scenario": SCENARIOS[0]})
+        assert status == 200 and body["ok"] is True
+
+        # --- SIGINT drains and exits cleanly ------------------------------
+        process.send_signal(signal.SIGINT)
+        stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0
+        assert "shut down" in stdout
+        assert "worker-0" in stderr and "restarting" in stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=30)

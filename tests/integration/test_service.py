@@ -5,6 +5,8 @@ The server runs in-process on an ephemeral port; requests go through
 """
 
 import json
+import socket
+import struct
 import threading
 import urllib.error
 import urllib.request
@@ -12,7 +14,7 @@ import urllib.request
 import pytest
 
 from repro.api import SCHEMA_VERSION, result_from_json
-from repro.api.service import make_server
+from repro.api.service import MAX_BODY_BYTES, make_server
 
 SCENARIO = {"exchange": "floodset", "num_agents": 3, "max_faulty": 1}
 
@@ -156,6 +158,184 @@ class TestErrors:
         assert "unknown op" in body["error"]
 
 
+class _RawConnection:
+    """A hand-rolled HTTP/1.1 client for framing-level assertions.
+
+    ``urllib`` cannot express the malformed requests these tests need
+    (negative ``Content-Length``, pipelining, a declared body that never
+    arrives), so this speaks bytes on the socket and parses one response
+    at a time out of a reusable buffer.
+    """
+
+    def __init__(self, server_url, timeout=120):
+        host, _, port = server_url[len("http://"):].partition(":")
+        self.sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self.buffer = b""
+
+    def request(self, path, body=b"", content_length=None, method="POST"):
+        length = len(body) if content_length is None else content_length
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: repro\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {length}\r\n\r\n")
+        self.sock.sendall(head.encode() + body)
+
+    def read_response(self):
+        while b"\r\n\r\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            assert chunk, f"connection closed mid-headers: {self.buffer!r}"
+            self.buffer += chunk
+        head, _, self.buffer = self.buffer.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        while len(self.buffer) < length:
+            chunk = self.sock.recv(65536)
+            assert chunk, "connection closed mid-body"
+            self.buffer += chunk
+        body, self.buffer = self.buffer[:length], self.buffer[length:]
+        return status, headers, json.loads(body) if body else None
+
+    def assert_closed(self):
+        """The server must hang up: the next read sees EOF (or a reset)."""
+        assert not self.buffer, f"unexpected pipelined bytes: {self.buffer!r}"
+        self.sock.settimeout(10)
+        try:
+            leftover = self.sock.recv(1)
+        except ConnectionError:
+            return
+        assert leftover == b"", f"server kept talking: {leftover!r}"
+
+    def reset(self):
+        """Close with an immediate RST instead of an orderly FIN."""
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                             struct.pack("ii", 1, 0))
+        self.sock.close()
+
+    def close(self):
+        self.sock.close()
+
+
+class TestConnectionFraming:
+    """Keep-alive framing discipline, asserted at the raw-socket level.
+
+    Each test here is a regression guard: a negative ``Content-Length``
+    used to turn into ``rfile.read(-N)`` (read-to-EOF, hanging the
+    connection); error responses used to leave the unread body on the
+    socket where the next request parse would choke on it; and a client
+    vanishing mid-response used to provoke a traceback plus a second
+    response written to the dead socket.
+    """
+
+    def test_pipelined_requests_share_one_connection(self, server_url):
+        conn = _RawConnection(server_url)
+        try:
+            body = json.dumps({"scenario": SCENARIO}).encode()
+            conn.request("/check", body)
+            conn.request("/check", body)  # pipelined: sent before reading
+            first = conn.read_response()
+            second = conn.read_response()
+            assert first[0] == 200 and second[0] == 200
+            assert first[1].get("connection") != "close"
+            assert first[2]["ok"] is True and second[2]["ok"] is True
+        finally:
+            conn.close()
+
+    def test_negative_content_length_is_a_400_not_a_hang(self, server_url):
+        conn = _RawConnection(server_url, timeout=30)
+        try:
+            conn.request("/check", content_length=-5)
+            status, headers, body = conn.read_response()
+            assert status == 400
+            assert body["ok"] is False
+            assert "Content-Length" in body["error"]
+            # Nothing about the socket is trustworthy after a malformed
+            # length: the server must hang up rather than try to parse
+            # whatever follows as a request line.
+            assert headers.get("connection") == "close"
+            conn.assert_closed()
+        finally:
+            conn.close()
+
+    def test_oversized_request_closes_then_a_fresh_connection_works(self, server_url):
+        conn = _RawConnection(server_url, timeout=30)
+        try:
+            # Declare a huge body but never send it: the server must answer
+            # without reading it, and must not reuse the connection (the
+            # unsent body would arrive where the next request belongs).
+            conn.request("/check", content_length=MAX_BODY_BYTES + 1)
+            status, headers, body = conn.read_response()
+            assert status == 413
+            assert body["ok"] is False
+            assert headers.get("connection") == "close"
+            conn.assert_closed()
+        finally:
+            conn.close()
+        fresh = _RawConnection(server_url)
+        try:
+            fresh.request("/check", json.dumps({"scenario": SCENARIO}).encode())
+            status, _, body = fresh.read_response()
+            assert status == 200 and body["ok"] is True
+        finally:
+            fresh.close()
+
+    def test_error_with_consumed_body_keeps_the_connection(self, server_url):
+        # A handler-level 400 read the body in full, so the connection
+        # stays clean and the next request on it is served normally.
+        conn = _RawConnection(server_url)
+        try:
+            conn.request("/check",
+                         json.dumps({"scenario": dict(SCENARIO, bogus=1)}).encode())
+            status, headers, body = conn.read_response()
+            assert status == 400
+            assert "unknown scenario fields" in body["error"]
+            assert headers.get("connection") != "close"
+            conn.request("/check", json.dumps({"scenario": SCENARIO}).encode())
+            status, _, body = conn.read_response()
+            assert status == 200 and body["ok"] is True
+        finally:
+            conn.close()
+
+    def test_mid_response_disconnect_is_silent_and_terminal(self):
+        # A client that resets the connection while its response is being
+        # built must not provoke a traceback (handle_error), must not be
+        # sent a second response, and must not affect later requests.
+        import time
+
+        from repro.api import Session
+
+        class SlowSession(Session):
+            def _invoke_build(self, key, build):
+                if key[0] == "result":
+                    time.sleep(0.5)  # long enough for the client to vanish
+                return super()._invoke_build(key, build)
+
+        server = make_server(port=0, session=SlowSession())
+        tracebacks = []
+        server.handle_error = (
+            lambda request, client_address: tracebacks.append(client_address))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            conn = _RawConnection(url)
+            conn.request("/check", json.dumps({"scenario": SCENARIO}).encode())
+            time.sleep(0.1)  # the handler is mid-build
+            conn.reset()
+            time.sleep(1.0)  # let the build finish and the write fail
+            assert tracebacks == []
+            status, body = _post(url + "/check", {"scenario": SCENARIO})
+            assert status == 200 and body["ok"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
 class TestConcurrency:
     def test_concurrent_duplicate_cold_requests_build_once(self):
         # A slow cold build plus a duplicate request arriving mid-build: the
@@ -196,6 +376,51 @@ class TestConcurrency:
             _, stats = _get(url + "/stats")
             assert stats["cache"]["coalesced"] == 1
             assert stats["cache"]["misses"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_max_inflight_defers_accept_while_saturated(self):
+        # The pre-fork worker's accept backpressure: with max_inflight=1 a
+        # second connection stays in the listen backlog (where an idle
+        # sibling worker would take it) until the first request finishes,
+        # so two concurrent cold builds serialise instead of overlapping.
+        import time
+
+        from repro.api import Session
+
+        delay = 0.4
+
+        class SlowSession(Session):
+            def _invoke_build(self, key, build):
+                if key[0] == "result":
+                    time.sleep(delay)
+                return super()._invoke_build(key, build)
+
+        server = make_server(port=0, session=SlowSession(), max_inflight=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            scenarios = [dict(SCENARIO, num_agents=agents) for agents in (2, 3)]
+            responses = []
+            workers = [
+                threading.Thread(target=lambda s=s: responses.append(
+                    _post(url + "/check", {"scenario": s})))
+                for s in scenarios
+            ]
+            start = time.perf_counter()
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            elapsed = time.perf_counter() - start
+            assert len(responses) == 2
+            assert all(status == 200 for status, _ in responses)
+            # Without the gate these overlap (~delay, see the coalesce test
+            # above); the gate makes them back-to-back.
+            assert elapsed >= 2 * delay
         finally:
             server.shutdown()
             server.server_close()

@@ -192,6 +192,46 @@ class TestStatsSnapshot:
         json.dumps(stats.to_json())
 
 
+class TestStatsAggregation:
+    def test_aggregate_sums_counters_and_recomputes_hit_rate(self):
+        from repro.api.session import SessionStats
+
+        views = [
+            {"hits": 9, "misses": 1, "coalesced": 2, "entries": 4,
+             "hit_rate": 0.9, "store": {"hits": 3, "misses": 1}},
+            {"hits": 0, "misses": 10, "coalesced": 0, "entries": 1,
+             "hit_rate": 0.0, "store": {"hits": 0, "misses": 7}},
+        ]
+        merged = SessionStats.aggregate_json(views)
+        assert merged["workers"] == 2
+        assert merged["hits"] == 9 and merged["misses"] == 11
+        assert merged["coalesced"] == 2 and merged["entries"] == 5
+        # Recomputed from the summed totals (9/20), not averaged (0.45
+        # either way here, but 0.9-and-0.0 averaged would hide the busy
+        # worker's denominator).
+        assert merged["hit_rate"] == 0.45
+        assert merged["store"] == {"hits": 3, "misses": 8}
+
+    def test_aggregate_of_nothing_is_empty_but_well_formed(self):
+        from repro.api.session import SessionStats
+
+        merged = SessionStats.aggregate_json([])
+        assert merged["workers"] == 0
+        assert merged["hit_rate"] == 0.0
+        assert "store" not in merged
+
+    def test_aggregate_accepts_real_snapshots(self):
+        from repro.api.session import SessionStats
+
+        session = Session()
+        session.check(FLOODSET)
+        session.check(FLOODSET)
+        merged = SessionStats.aggregate_json(
+            [session.stats().to_json(), session.stats().to_json()])
+        assert merged["workers"] == 2
+        assert merged["hits"] == 2 * session.stats().hits
+
+
 class TestBatchFailureConsistency:
     def test_failing_scenario_mid_batch_leaves_a_consistent_session(self):
         session = Session()

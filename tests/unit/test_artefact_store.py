@@ -9,7 +9,10 @@ never an exception, never a wrong answer.
 
 import errno
 import json
+import multiprocessing
 import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -173,6 +176,234 @@ class TestQuarantine:
             self._entry_path(store, key).write_text("{broken")
             assert store.get_result("check", key) is None
         assert len(list((store.root / "quarantine").iterdir())) == 3
+
+
+def _quarantine_worker(root, source, barrier):
+    """Race helper: quarantine ``source`` from a forked process."""
+    store = ArtefactStore(root)
+    barrier.wait()  # both processes release together, targeting one name
+    store.quarantine(Path(source), "race test")
+
+
+def _reader_worker(root, keys, duration, queue):
+    """Race helper: hammer ``get_result`` while another process compacts.
+
+    Reports (reads, wrong_payloads); wrong_payloads must stay zero — a
+    compacted-away entry is a miss, never an error or a wrong answer.
+    """
+    store = ArtefactStore(root)
+    deadline = time.time() + duration
+    reads = wrong = 0
+    try:
+        while time.time() < deadline:
+            for key in keys:
+                payload = store.get_result("check", key)
+                if payload is not None and payload != RESULT.to_json():
+                    wrong += 1
+                reads += 1
+    except Exception as exc:  # pragma: no cover - failure reporting
+        queue.put(("error", repr(exc)))
+        return
+    queue.put(("ok", reads, wrong))
+
+
+class TestQuarantineRace:
+    """The quarantine name claim must be exclusive-create, never clobber.
+
+    Regression: the old probe-then-``os.replace`` dance let a second
+    quarantine (another process, or a later corrupt generation) land on a
+    name the probe had just reported free, silently destroying the
+    evidence the quarantine directory exists to preserve.
+    """
+
+    def test_pre_existing_quarantine_target_is_preserved(self, store):
+        key = _populate(store)
+        path = store.result_path("check", key)
+        target = store.root / "quarantine" / path.name
+        target.write_text("first generation")
+        path.write_text("{broken")
+        assert store.get_result("check", key) is None
+        # The old generation is untouched; the new one took the next name.
+        assert target.read_text() == "first generation"
+        assert (store.root / "quarantine" / (path.name + ".1")).read_text() \
+            == "{broken"
+
+    def test_vanished_entry_is_tolerated(self, store):
+        # A racing process quarantined (or removed) the file first: the
+        # loser counts the quarantine and moves on, no exception.
+        key = _populate(store)
+        path = store.result_path("check", key)
+        path.unlink()
+        store.quarantine(path, "already gone")
+        assert store.stats()["quarantined"] == 1
+
+    def test_two_processes_quarantining_one_name_never_clobber(self, tmp_path):
+        # Two processes race to quarantine distinct corrupt generations
+        # that share a file name (the exact shape of the old lost-update):
+        # afterwards *both* generations must exist under quarantine/.
+        ctx = multiprocessing.get_context("fork")
+        root = tmp_path / "store"
+        ArtefactStore(root)  # create the directory layout up front
+        sources = []
+        for index in range(2):
+            side = tmp_path / f"gen{index}"
+            side.mkdir()
+            source = side / "entry.json"
+            source.write_text(f"generation-{index}")
+            sources.append(source)
+        barrier = ctx.Barrier(2)
+        processes = [
+            ctx.Process(target=_quarantine_worker,
+                        args=(str(root), str(source), barrier))
+            for source in sources
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+        assert all(process.exitcode == 0 for process in processes)
+        survivors = sorted(
+            item.read_text() for item in (root / "quarantine").iterdir())
+        assert survivors == ["generation-0", "generation-1"]
+
+
+class TestCompaction:
+    def _fill(self, store, count, base_agents=2):
+        keys = []
+        for offset in range(count):
+            scenario = Scenario(exchange="floodset",
+                                num_agents=base_agents + offset, max_faulty=1)
+            key = scenario.canonical_json()
+            assert store.put_result("check", key, RESULT.to_json())
+            keys.append(key)
+        return keys
+
+    def test_bounds_are_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtefactStore(tmp_path / "s", max_bytes=0)
+        with pytest.raises(ValueError):
+            ArtefactStore(tmp_path / "s", max_entries=0)
+        with pytest.raises(ValueError):
+            ArtefactStore(tmp_path / "s", compact_interval=0)
+
+    def test_disk_stats_report_entries_and_bytes(self, store):
+        self._fill(store, 2)
+        stats = store.disk_stats()
+        assert stats["results"]["entries"] == 2
+        assert stats["total"]["entries"] == 2
+        assert stats["total"]["bytes"] == stats["results"]["bytes"] > 0
+        assert stats["quarantine"] == {"entries": 0, "bytes": 0}
+
+    def test_compact_drops_the_oldest_entries_first(self, store):
+        keys = self._fill(store, 5)
+        for position, key in enumerate(keys):
+            path = store.result_path("check", key)
+            os.utime(path, (1000.0 + position, 1000.0 + position))
+        summary = store.compact(max_entries=2)
+        assert summary["examined"] == 5
+        assert summary["kept"] == 2
+        assert summary["removed"] == 3
+        # The two newest survive; the three oldest are gone (as misses).
+        assert store.get_result("check", keys[4]) is not None
+        assert store.get_result("check", keys[3]) is not None
+        assert store.get_result("check", keys[0]) is None
+        assert store.stats()["compacted"] == 3
+
+    def test_read_hits_refresh_recency(self, store):
+        keys = self._fill(store, 3)
+        for key in keys:
+            path = store.result_path("check", key)
+            os.utime(path, (1000.0, 1000.0))
+        # A hit touches the entry, so LRU keeps the read one, not the
+        # most recently written one.
+        assert store.get_result("check", keys[0]) is not None
+        store.compact(max_entries=1)
+        assert store.get_result("check", keys[0]) is not None
+        assert store.get_result("check", keys[2]) is None
+
+    def test_compact_enforces_a_byte_bound(self, store):
+        keys = self._fill(store, 4)
+        sizes = [store.result_path("check", key).stat().st_size for key in keys]
+        bound = sizes[-1] + sizes[-2]  # room for roughly two entries
+        summary = store.compact(max_bytes=bound)
+        assert summary["kept_bytes"] <= bound
+        assert summary["removed"] >= 2
+        assert store.disk_stats()["total"]["bytes"] <= bound
+
+    def test_quarantine_never_counts_towards_the_bounds(self, store):
+        keys = self._fill(store, 2)
+        path = store.result_path("check", keys[0])
+        path.write_text("{broken")
+        assert store.get_result("check", keys[0]) is None  # quarantined
+        summary = store.compact(max_entries=1)
+        assert summary["examined"] == 1  # only the surviving live entry
+        assert len(list((store.root / "quarantine").iterdir())) == 1
+
+    def test_stale_tmp_files_are_swept_fresh_ones_kept(self, store):
+        stale = store.root / "results" / "crashed-writer.tmp"
+        stale.write_text("debris")
+        os.utime(stale, (time.time() - 7200,) * 2)
+        fresh = store.root / "results" / "live-writer.tmp"
+        fresh.write_text("in flight")
+        store.compact(max_entries=10)
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_store_compacts_itself_every_interval(self, tmp_path):
+        store = ArtefactStore(tmp_path / "store", max_entries=2,
+                              compact_interval=2)
+        self._fill(store, 6)
+        # Six writes at interval two: the store ran its own passes and the
+        # directory never strayed more than one interval past the bound.
+        assert store.stats()["compactions"] >= 3  # init pass + every 2 writes
+        assert store.disk_stats()["total"]["entries"] <= 3
+        store.compact()
+        assert store.disk_stats()["total"]["entries"] <= 2
+
+    def test_restart_compacts_an_over_bound_directory(self, tmp_path):
+        unbounded = ArtefactStore(tmp_path / "store")
+        self._fill(unbounded, 5)
+        assert unbounded.disk_stats()["total"]["entries"] == 5
+        bounded = ArtefactStore(tmp_path / "store", max_entries=2)
+        assert bounded.disk_stats()["total"]["entries"] <= 2
+
+    def test_byte_bound_holds_under_a_concurrent_reader_process(self, tmp_path):
+        # The acceptance scenario: one process writes and compacts under a
+        # byte bound while a second process keeps reading the same store.
+        # The reader must only ever see hits or misses — no exceptions, no
+        # wrong payloads — and the writer must end within its bound.
+        ctx = multiprocessing.get_context("fork")
+        root = tmp_path / "store"
+        seed = ArtefactStore(root)
+        hot_keys = self._fill(seed, 4)
+        entry_size = max(
+            seed.result_path("check", key).stat().st_size for key in hot_keys)
+        bound = entry_size * 6
+        queue = ctx.Queue()
+        reader = ctx.Process(target=_reader_worker,
+                             args=(str(root), hot_keys, 2.0, queue))
+        reader.start()
+        try:
+            writer = ArtefactStore(root, max_bytes=bound, compact_interval=4)
+            for offset in range(40):
+                scenario = Scenario(exchange="floodset",
+                                    num_agents=50 + offset, max_faulty=1)
+                writer.put_result("check", scenario.canonical_json(),
+                                  RESULT.to_json())
+                # Between self-compactions the store may run at most one
+                # interval of writes past the bound, never unbounded.
+                assert writer.disk_stats()["total"]["bytes"] \
+                    <= bound + entry_size * writer._compact_interval
+            writer.compact()
+            assert writer.disk_stats()["total"]["bytes"] <= bound
+            report = queue.get(timeout=30)
+        finally:
+            reader.join(timeout=30)
+        assert reader.exitcode == 0
+        assert report[0] == "ok", report
+        _, reads, wrong = report
+        assert reads > 0
+        assert wrong == 0
 
 
 class TestWriteFailures:

@@ -310,3 +310,95 @@ class TestServeParser:
         code = main(["serve", "--cache-size", "0"])
         assert code == 2
         assert "--cache-size" in capsys.readouterr().err
+
+    def test_serve_worker_and_store_bound_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--workers", "4", "--store", "/tmp/store",
+             "--store-max-bytes", "1048576", "--store-max-entries", "500"]
+        )
+        assert args.workers == 4
+        assert args.store == "/tmp/store"
+        assert args.store_max_bytes == 1048576
+        assert args.store_max_entries == 500
+
+    def test_serve_defaults_to_one_worker_and_unbounded_store(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 1
+        assert args.store_max_bytes is None
+        assert args.store_max_entries is None
+
+    def test_serve_rejects_nonpositive_workers(self, capsys):
+        code = main(["serve", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_store_bounds_require_a_store(self, capsys):
+        code = main(["serve", "--store-max-bytes", "1024"])
+        assert code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_store_bounds(self, capsys):
+        code = main(["serve", "--store", "/tmp/store",
+                     "--store-max-entries", "0"])
+        assert code == 2
+        assert "--store-max-entries" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    @staticmethod
+    def _populated_store(tmp_path):
+        from repro.api import ArtefactStore, Scenario
+        from repro.api.results import CheckResult
+
+        store = ArtefactStore(tmp_path / "store")
+        result = CheckResult(
+            task="sba-model-check", engine="bitset", exchange="floodset",
+            failures="crash", num_agents=2, max_faulty=1, states=7,
+            spec={"validity": True},
+        )
+        for agents in (2, 3, 4):
+            scenario = Scenario(exchange="floodset", num_agents=agents,
+                                max_faulty=1)
+            store.put_result("check", scenario.canonical_json(),
+                             result.to_json())
+        return store
+
+    def test_store_stats_prints_disk_usage(self, capsys, tmp_path):
+        self._populated_store(tmp_path)
+        code = main(["store", "stats", str(tmp_path / "store")])
+        assert code == 0
+        import json
+
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["total"]["entries"] == 3
+        assert stats["total"]["bytes"] > 0
+
+    def test_store_compact_trims_to_the_bound(self, capsys, tmp_path):
+        self._populated_store(tmp_path)
+        code = main(["store", "compact", str(tmp_path / "store"),
+                     "--max-entries", "1"])
+        assert code == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kept"] == 1
+        assert summary["removed"] == 2
+
+    def test_store_compact_requires_a_bound(self, capsys, tmp_path):
+        self._populated_store(tmp_path)
+        code = main(["store", "compact", str(tmp_path / "store")])
+        assert code == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_store_commands_reject_a_missing_directory(self, capsys, tmp_path):
+        code = main(["store", "stats", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no store directory" in capsys.readouterr().err
+
+    def test_store_compact_rejects_a_nonpositive_bound(self, capsys, tmp_path):
+        self._populated_store(tmp_path)
+        code = main(["store", "compact", str(tmp_path / "store"),
+                     "--max-bytes", "0"])
+        assert code == 2
+        assert "--max-bytes" in capsys.readouterr().err
