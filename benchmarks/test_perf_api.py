@@ -531,3 +531,75 @@ def test_serve_answers_concurrent_repeated_queries_from_the_session_cache():
             "session_cache": cache,
         }
         BENCH_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Preloaded workers: first-query latency vs a cold session
+# ---------------------------------------------------------------------------
+
+#: Acceptance floor for the preloaded first query over the cold first query
+#: on a build-dominated scenario.
+PRELOAD_SPEEDUP_FLOOR = 2.0
+
+
+def test_preloaded_session_first_query_beats_cold():
+    """A ``serve --preload`` worker answers its first query without paying
+    the space build: the parent built the artefacts pre-fork and the child
+    inherits them copy-on-write.  This measures that first-query latency
+    against a cold session on the same scenario (the build dominates, so
+    the preloaded path should win by far more than the 2x floor)."""
+    from repro.runtime.preload import Preloader
+
+    if SMOKE:
+        scenario = Scenario(exchange="floodset", num_agents=4, max_faulty=2)
+    else:
+        scenario = Scenario(exchange="floodset", num_agents=5, max_faulty=3)
+
+    cold_session = Session()
+    start = time.perf_counter()
+    cold_result = cold_session.check(scenario)
+    cold_seconds = time.perf_counter() - start
+
+    # The preload itself happens in the serve parent, outside any query.
+    preloader = Preloader()
+    preload_start = time.perf_counter()
+    preloader.preload_cells([("sba-model-check", scenario)])
+    preload_seconds = time.perf_counter() - preload_start
+
+    warm_session = Session(preloaded=preloader)
+    start = time.perf_counter()
+    warm_result = warm_session.check(scenario)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm_result.to_dict() == cold_result.to_dict()
+    assert warm_session.stats().preloaded == 2  # model + space served
+    assert warm_session.build_seconds() == 0.0
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+
+    if _RECORDING:
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except (OSError, ValueError):
+            existing = {"benchmark": "session facade benchmarks",
+                        "workloads": {}}
+        existing.setdefault("workloads", {})["preloaded_first_query"] = {
+            "workload": "serve --preload: first query on a preloaded worker "
+                        "vs a cold session",
+            "scenario": (f"floodset n={scenario.num_agents} "
+                         f"t={scenario.max_faulty}"),
+            "cold_first_query_seconds": round(cold_seconds, 3),
+            "preload_seconds": round(preload_seconds, 3),
+            "preloaded_first_query_seconds": round(warm_seconds, 3),
+            "speedup": round(speedup, 2),
+        }
+        BENCH_PATH.write_text(
+            json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+    if SMOKE:
+        return
+    assert speedup >= PRELOAD_SPEEDUP_FLOOR, (
+        f"preloaded first query was only {speedup:.2f}x faster "
+        f"({cold_seconds:.3f}s -> {warm_seconds:.3f}s; "
+        f"floor {PRELOAD_SPEEDUP_FLOOR}x)"
+    )

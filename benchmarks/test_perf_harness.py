@@ -143,3 +143,123 @@ def test_parallel_grid_speedup_on_budgeted_cells():
         f"{speedup:.2f}x faster ({sequential_seconds:.2f}s -> "
         f"{parallel_seconds:.2f}s; floor {SPEEDUP_FLOOR}x)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Shared compute plane: build-once spaces vs per-cell rebuild
+# ---------------------------------------------------------------------------
+
+#: Acceptance floor for the shared-space sweep over the per-cell-rebuild
+#: baseline on a build-dominated model-checking grid.
+SHARED_SPEEDUP_FLOOR = 2.0
+
+SHARED_TIMEOUT_SECONDS = 60.0 if SMOKE else 600.0
+
+
+def _shared_grid_spec() -> TableSpec:
+    """A model-checking grid where many cells read one literature space.
+
+    Each FloodSet row carries four cells over the *same* space: the plain
+    model check and the temporal-only check at the default horizon, plus two
+    explicit-round variants (``rounds = t + 2`` resolves to the default
+    horizon under a distinct cell key; ``rounds = t + 1`` is served as a
+    prefix).  Building the space dominates each cell, so the shared plane —
+    one parent-side build forked into all four — approaches a 4x saving per
+    row, where the per-cell baseline rebuilds it four times.
+    """
+    pairs: List[Tuple[int, int]] = [(3, 1), (4, 2)] if SMOKE else [
+        (5, 3), (5, 2), (4, 2),
+    ]
+    spec = TableSpec(
+        name="bench-shared-grid",
+        title="Benchmark: shared-space FloodSet model-checking grid",
+        row_header=("n", "t"),
+    )
+    for n, t in pairs:
+        base = {"exchange": "floodset", "num_agents": n, "max_faulty": t}
+        cells: List[CellSpec] = [
+            ("floodset-mc", "sba-model-check", dict(base)),
+            ("floodset-temporal", "sba-temporal-only", dict(base)),
+            ("floodset-mc-full", "sba-model-check",
+             dict(base, rounds=t + 2)),
+            ("floodset-mc-short", "sba-model-check",
+             dict(base, rounds=t + 1)),
+        ]
+        spec.rows.append(((n, t), cells))
+    return spec
+
+
+def _shared_sweep_seconds(
+    spec: TableSpec, share_spaces: bool
+) -> Tuple[float, dict]:
+    start = time.perf_counter()
+    result = run_table(
+        spec,
+        timeout=SHARED_TIMEOUT_SECONDS,
+        workers=1,
+        share_spaces=share_spaces,
+        verbose=False,
+    )
+    elapsed = time.perf_counter() - start
+    cells = {
+        (row_key, column): (outcome.result, outcome.timed_out, outcome.error)
+        for (row_key, column), outcome in result.outcomes.items()
+    }
+    return elapsed, cells
+
+
+def test_shared_space_grid_speedup_over_per_cell_rebuild():
+    """Build-once spaces finish the grid >= 2x faster than rebuilding."""
+    spec = _shared_grid_spec()
+    total_cells = sum(len(cells) for _, cells in spec.rows)
+
+    rebuild_seconds, rebuild_cells = _shared_sweep_seconds(
+        spec, share_spaces=False)
+    shared_seconds, shared_cells = _shared_sweep_seconds(
+        spec, share_spaces=True)
+
+    # The optimisation must be invisible in the results themselves (only
+    # the wall-clock may differ).
+    assert shared_cells == rebuild_cells
+    assert len(shared_cells) == total_cells
+    assert all(result is not None and not timed_out and error is None
+               for result, timed_out, error in shared_cells.values())
+
+    speedup = rebuild_seconds / max(shared_seconds, 1e-9)
+
+    if _RECORDING:
+        existing: dict = {}
+        if BENCH_PATH.exists():
+            try:
+                existing = json.loads(BENCH_PATH.read_text())
+            except ValueError:
+                existing = {}
+        workloads = existing.get("workloads", {})
+        workloads["shared_space_floodset_mc"] = {
+            "workload": "build-dominated FloodSet model-checking grid",
+            "exchange": "floodset",
+            "cells": total_cells,
+            "cells_per_space": 4,
+            "timeout_seconds": SHARED_TIMEOUT_SECONDS,
+            "workers": 1,
+            "cpus": os.cpu_count(),
+            "rebuild_seconds": round(rebuild_seconds, 3),
+            "shared_seconds": round(shared_seconds, 3),
+            "speedup": round(speedup, 2),
+        }
+        existing["workloads"] = workloads
+        existing.setdefault(
+            "benchmark",
+            "parallel resumable grid engine vs the sequential table harness",
+        )
+        BENCH_PATH.write_text(
+            json.dumps(existing, indent=2, sort_keys=True) + "\n"
+        )
+
+    if SMOKE:
+        return
+    assert speedup >= SHARED_SPEEDUP_FLOOR, (
+        f"shared-space sweep of {total_cells} cells was only "
+        f"{speedup:.2f}x faster ({rebuild_seconds:.2f}s -> "
+        f"{shared_seconds:.2f}s; floor {SHARED_SPEEDUP_FLOOR}x)"
+    )

@@ -182,7 +182,13 @@ class SynthesisResult:
 
 @dataclass(frozen=True)
 class TableCell:
-    """One budgeted experiment-grid cell: rendered form plus raw outcome."""
+    """One budgeted experiment-grid cell: rendered form plus raw outcome.
+
+    ``build_seconds``/``check_seconds`` split ``seconds`` into shareable
+    artefact construction (model + space) and the actual checking work; both
+    are None for cells recorded before the split existed (the schema version
+    is unchanged — absent keys read back as None).
+    """
 
     column: str
     cell: str
@@ -190,6 +196,8 @@ class TableCell:
     timed_out: bool = False
     error: Optional[str] = None
     result: Optional[Dict[str, object]] = None
+    build_seconds: Optional[float] = None
+    check_seconds: Optional[float] = None
 
     @classmethod
     def from_outcome(cls, column: str, outcome) -> "TableCell":
@@ -201,6 +209,8 @@ class TableCell:
             timed_out=outcome.timed_out,
             error=outcome.error,
             result=outcome.result,
+            build_seconds=getattr(outcome, "build_seconds", None),
+            check_seconds=getattr(outcome, "check_seconds", None),
         )
 
     def to_json(self) -> Dict[str, object]:

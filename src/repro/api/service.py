@@ -49,6 +49,13 @@ fan out to every worker, and shutdown drains in-flight requests.  With
 ``--store DIR`` the workers share one persistent
 :class:`~repro.api.artefact_store.ArtefactStore`, so one worker's cold
 build warms its siblings (and any later process) through the store tier.
+
+**Warm starts.**  ``--preload SPEC`` (e.g. ``table1:max-n=4``) builds the
+space artefacts of a scenario frontier before serving: under ``--workers N``
+the parent builds once pre-fork and every worker inherits the artefacts
+copy-on-write; single-worker mode preloads on a background thread.  Until
+the build completes ``/health`` answers ``ready: false`` (queries are still
+served, just cold).
 """
 
 from __future__ import annotations
@@ -67,6 +74,7 @@ from typing import Dict, Optional, Tuple
 from repro.api.artefact_store import ArtefactStore
 from repro.api.scenario import Scenario
 from repro.api.session import QUERY_OPS, Session, SessionStats
+from repro.runtime.preload import Preloader, parse_frontier
 
 #: Default bind address and port for ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -91,6 +99,12 @@ SHUTDOWN_GRACE_SECONDS = 10.0
 #: front on single-core machines where real compute cannot parallelise
 #: anywhere.  Unset (the default) it changes nothing.
 BUILD_DELAY_ENV = "REPRO_SERVE_BUILD_DELAY"
+
+#: Test seam: when this environment variable holds a positive float, the
+#: ``--preload`` build additionally sleeps that many seconds, so tests and CI
+#: can observe the not-yet-ready window (``/health`` with ``ready: false``)
+#: deterministically.  Unset (the default) it changes nothing.
+PRELOAD_DELAY_ENV = "REPRO_SERVE_PRELOAD_DELAY"
 
 #: Supervisor restart backoff base, overridable for tests via
 #: ``REPRO_SERVE_RESTART_BACKOFF`` (seconds; doubles per consecutive
@@ -234,7 +248,14 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self._begin_request()
         try:
             if self.path in ("/health", "/healthz"):
-                self._respond_ok({"status": "serving"})
+                # ``ready`` flips once --preload finishes (always True
+                # without one); queries are answered either way — a
+                # not-ready worker just builds cold.
+                ready = getattr(self.server, "ready", True)
+                self._respond_ok({
+                    "status": "serving" if ready else "preloading",
+                    "ready": ready,
+                })
             elif self.path == "/stats":
                 self._respond_ok(self.server.stats_payload())
             else:
@@ -335,6 +356,7 @@ class ReproServer(ThreadingHTTPServer):
         worker_label: Optional[str] = None,
         stats_dir: Optional[str] = None,
         max_inflight: Optional[int] = None,
+        ready_event: Optional[threading.Event] = None,
     ) -> None:
         super().__init__(address, ReproRequestHandler, bind_and_activate=False)
         if listening_socket is not None:
@@ -352,9 +374,17 @@ class ReproServer(ThreadingHTTPServer):
         self.worker_label = worker_label
         self.stats_dir = stats_dir
         self.max_inflight = max_inflight
+        #: Set once a background --preload completes; None = nothing to wait
+        #: for (the server was born ready).
+        self.ready_event = ready_event
         self._active_requests = 0
         self._active_connections = 0
         self._active_lock = threading.Lock()
+
+    @property
+    def ready(self) -> bool:
+        """False only while a ``--preload`` build is still running."""
+        return self.ready_event is None or self.ready_event.is_set()
 
     def server_activate(self) -> None:
         # Adopted sockets are already listening; activating again is fine
@@ -465,12 +495,14 @@ def make_server(
     worker_label: Optional[str] = None,
     stats_dir: Optional[str] = None,
     max_inflight: Optional[int] = None,
+    ready_event: Optional[threading.Event] = None,
 ) -> ReproServer:
     """Build (but do not start) a service instance; ``port=0`` picks a free port."""
     return ReproServer(
         (host, port), session=session, verbose=verbose,
         listening_socket=listening_socket, worker_label=worker_label,
         stats_dir=stats_dir, max_inflight=max_inflight,
+        ready_event=ready_event,
     )
 
 
@@ -483,6 +515,7 @@ def _build_session(
     store_pickle: bool,
     store_max_bytes: Optional[int] = None,
     store_max_entries: Optional[int] = None,
+    preloaded: Optional[Preloader] = None,
 ) -> Session:
     """The serving session, honouring the benchmark build-delay seam."""
     store = None
@@ -496,7 +529,7 @@ def _build_session(
     except ValueError:
         delay = 0.0
     if delay <= 0:
-        return Session(max_entries=cache_size, store=store)
+        return Session(max_entries=cache_size, store=store, preloaded=preloaded)
 
     gil_model = threading.Lock()  # one per process, like the GIL it models
 
@@ -507,7 +540,81 @@ def _build_session(
                     time.sleep(delay)
             return super()._invoke_build(key, build)
 
-    return _SimulatedComputeSession(max_entries=cache_size, store=store)
+    return _SimulatedComputeSession(
+        max_entries=cache_size, store=store, preloaded=preloaded
+    )
+
+
+def _run_preload(preloader: Preloader, cells) -> Dict[str, int]:
+    """Build the frontier's spaces into ``preloader`` (honouring the seam)."""
+    try:
+        delay = float(os.environ.get(PRELOAD_DELAY_ENV) or 0.0)
+    except ValueError:
+        delay = 0.0
+    if delay > 0:
+        time.sleep(delay)
+    return preloader.preload_cells(cells)
+
+
+def _answer_while_preloading(
+    listening: socket.socket, stop: threading.Event
+) -> threading.Thread:
+    """Answer probes on the bound socket while the pre-fork parent preloads.
+
+    The socket is bound and listening before the preload starts, so clients
+    can connect immediately; this minimal responder tells them the truth —
+    ``/health`` with ``ready: false``, 503 for anything else, every response
+    ``Connection: close`` — until the workers fork and take over.  The
+    listening socket is put in timeout mode for the accept loop; the caller
+    restores blocking mode (``settimeout(None)``) before forking, since the
+    underlying O_NONBLOCK flag would ride the fork into every worker.
+    """
+
+    def _respond(conn: socket.socket) -> None:
+        try:
+            conn.settimeout(1.0)
+            raw = conn.recv(65536)
+            request_line = raw.split(b"\r\n", 1)[0].split()
+            path = request_line[1].decode("latin-1") if len(request_line) > 1 else ""
+            if path in ("/health", "/healthz"):
+                status = b"200 OK"
+                body = json.dumps(
+                    {"ok": True, "status": "preloading", "ready": False}
+                ).encode()
+            else:
+                status = b"503 Service Unavailable"
+                body = json.dumps(
+                    {"ok": False, "error": "service is preloading",
+                     "ready": False}
+                ).encode()
+            conn.sendall(
+                b"HTTP/1.0 " + status + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _loop() -> None:
+        while not stop.is_set():
+            try:
+                conn, _ = listening.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - socket torn down
+                break
+            _respond(conn)
+
+    listening.settimeout(0.2)
+    thread = threading.Thread(target=_loop, daemon=True, name="preload-gate")
+    thread.start()
+    return thread
 
 
 def _run_worker(
@@ -520,12 +627,18 @@ def _run_worker(
     store_max_bytes: Optional[int],
     store_max_entries: Optional[int],
     stats_dir: str,
+    preloaded: Optional[Preloader] = None,
 ) -> int:
-    """One forked worker: accept on the inherited socket until signalled."""
+    """One forked worker: accept on the inherited socket until signalled.
+
+    ``preloaded`` is the parent's preloader, inherited copy-on-write across
+    the fork: the worker's session serves space lookups from it instead of
+    building them cold on the first queries.
+    """
     server = make_server(
         session=_build_session(
             cache_size, store_dir, store_pickle,
-            store_max_bytes, store_max_entries,
+            store_max_bytes, store_max_entries, preloaded=preloaded,
         ),
         verbose=verbose,
         listening_socket=listening_socket,
@@ -572,6 +685,7 @@ def _serve_prefork(
     store_pickle: bool,
     store_max_bytes: Optional[int],
     store_max_entries: Optional[int],
+    preload_cells=None,
 ) -> int:
     """The pre-fork front: bind once, fork N accept-loop workers, supervise.
 
@@ -581,6 +695,14 @@ def _serve_prefork(
     restarted (with exponential backoff per worker slot, so a crash loop
     cannot spin), SIGINT/SIGTERM fan out to every worker, and workers that
     ignore the fan-out are SIGKILLed after a grace period.
+
+    With ``preload_cells`` the parent builds the frontier's space artefacts
+    *before* forking — one build, inherited copy-on-write by every worker
+    (and every restarted worker, since the supervisor keeps the artefacts
+    alive) — while a minimal responder on the already-bound socket answers
+    ``/health`` with ``ready: false`` so probes see the truth during the
+    build.  A failed preload downgrades to cold serving rather than refusing
+    to start.
     """
     listening = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listening.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -600,6 +722,28 @@ def _serve_prefork(
         stats_root = Path(tempfile.mkdtemp(prefix="repro-serve-stats-"))
     stats_root.mkdir(parents=True, exist_ok=True)
 
+    preloader: Optional[Preloader] = None
+    if preload_cells:
+        print(f"repro serve: preloading {len(preload_cells)} frontier cells "
+              f"on http://{bound_host}:{bound_port} (health reports "
+              f"ready: false until done)", flush=True)
+        preloader = Preloader()
+        gate_stop = threading.Event()
+        gate = _answer_while_preloading(listening, gate_stop)
+        try:
+            summary = _run_preload(preloader, preload_cells)
+            print(f"repro serve: preloaded {summary['spaces']} spaces "
+                  f"({summary['states']} states) for {len(preload_cells)} "
+                  f"frontier cells", flush=True)
+        except Exception as exc:
+            print(f"repro serve: preload failed ({exc}); serving cold",
+                  file=sys.stderr, flush=True)
+            preloader = None
+        finally:
+            gate_stop.set()
+            gate.join()
+            listening.settimeout(None)  # O_NONBLOCK must not ride the fork
+
     def spawn(index: int) -> int:
         pid = os.fork()
         if pid == 0:
@@ -613,7 +757,7 @@ def _serve_prefork(
                 code = _run_worker(
                     listening, f"worker-{index}", cache_size, verbose,
                     store_dir, store_pickle, store_max_bytes,
-                    store_max_entries, str(stats_root),
+                    store_max_entries, str(stats_root), preloaded=preloader,
                 )
             except KeyboardInterrupt:  # pragma: no cover - pre-handler race
                 code = 0
@@ -695,6 +839,7 @@ def serve(
     workers: int = 1,
     store_max_bytes: Optional[int] = None,
     store_max_entries: Optional[int] = None,
+    preload: Optional[str] = None,
 ) -> int:
     """Run the JSON service until interrupted (the ``repro serve`` command).
 
@@ -710,29 +855,61 @@ def serve(
     then N forked workers accept on it concurrently — the way to put every
     core behind one port, since a single CPython process is GIL-bound on
     cold builds no matter how its threads are arranged.
+
+    ``preload`` names a scenario frontier (e.g. ``table1`` or
+    ``table1:max-n=4``, see :func:`repro.runtime.preload.parse_frontier`):
+    the spaces those cells read are built once up front — before forking,
+    under ``--workers N``, so all workers share the build copy-on-write —
+    and ``/health`` reports ``ready: false`` until the build completes.
+    Raises ``ValueError`` for a malformed spec before binding the socket.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    preload_cells = parse_frontier(preload) if preload else None
     if workers > 1:
         if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
             raise ValueError("--workers requires a platform with os.fork")
         return _serve_prefork(
             host, port, workers, cache_size, verbose, store_dir,
             store_pickle, store_max_bytes, store_max_entries,
+            preload_cells=preload_cells,
         )
+    preloader = Preloader() if preload_cells else None
+    ready_event = threading.Event() if preload_cells else None
     server = make_server(
         host, port,
         session=_build_session(
             cache_size, store_dir, store_pickle,
-            store_max_bytes, store_max_entries,
+            store_max_bytes, store_max_entries, preloaded=preloader,
         ),
         verbose=verbose,
+        ready_event=ready_event,
     )
     bound_host, bound_port = server.server_address[:2]
     store_note = f"; store {store_dir}" if store_dir is not None else ""
+    preload_note = f"; preloading {preload}" if preload else ""
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
-          f"(cache {cache_size} entries{store_note}; endpoints: /check "
-          f"/synthesize /batch /health /stats)", flush=True)
+          f"(cache {cache_size} entries{store_note}{preload_note}; "
+          f"endpoints: /check /synthesize /batch /health /stats)", flush=True)
+    if preload_cells:
+        # Background preload: the server answers immediately (cold queries
+        # build as usual), /health flips to ready once the build lands.
+        # Races with concurrent cold queries are benign — the preloader
+        # publishes each space only after its build completes.
+        def _preload_in_background() -> None:
+            try:
+                summary = _run_preload(preloader, preload_cells)
+                print(f"repro serve: preloaded {summary['spaces']} spaces "
+                      f"({summary['states']} states)", flush=True)
+            except Exception as exc:
+                print(f"repro serve: preload failed ({exc}); serving cold",
+                      file=sys.stderr, flush=True)
+            finally:
+                ready_event.set()
+
+        threading.Thread(
+            target=_preload_in_background, daemon=True, name="preload"
+        ).start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, replace
 from types import MappingProxyType
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -65,6 +66,8 @@ from repro.api.scenario import Scenario
 from repro.core import synthesis
 from repro.engines import checker_for
 from repro.kbp.implementation import verify_sba_implementation
+from repro.runtime import plan as runtime_plan
+from repro.runtime.preload import Preloader
 from repro.spec.eba import eba_spec_formulas
 from repro.spec.sba import sba_spec_formulas
 from repro.systems.space import build_space
@@ -82,7 +85,10 @@ class SessionStats:
 
     ``hits``/``misses`` count in-memory lookups per artefact layer (a miss
     is a completed build); ``coalesced`` counts lookups that waited out
-    another thread's identical build and then read its result.  ``store``
+    another thread's identical build and then read its result;
+    ``preloaded`` counts artefacts served from the session's
+    :class:`~repro.runtime.preload.Preloader` instead of being built (like
+    store-tier hits, they are neither cache hits nor misses).  ``store``
     is the persistent tier's counter snapshot (read-only mapping), or None
     when the session has no store.  The snapshot is taken under the
     session's bookkeeping lock and every field is frozen or copied, so a
@@ -94,6 +100,7 @@ class SessionStats:
     entries: int
     max_entries: int
     coalesced: int = 0
+    preloaded: int = 0
     weight_bytes: int = 0
     max_weight_bytes: int = 0
     store: Optional[Mapping[str, int]] = None
@@ -109,6 +116,7 @@ class SessionStats:
             "hits": self.hits,
             "misses": self.misses,
             "coalesced": self.coalesced,
+            "preloaded": self.preloaded,
             "entries": self.entries,
             "max_entries": self.max_entries,
             "weight_bytes": self.weight_bytes,
@@ -165,9 +173,15 @@ class Session:
     ``max_entries`` bounds the number of cached artefacts and
     ``max_weight_bytes`` their estimated total size; the least recently
     used unpinned entry is evicted first.  ``store`` adds the persistent
-    tier.  ``concurrent_builds=False`` restores the pre-striping behaviour
-    (every build under one session-wide lock) — kept as the measurable
-    baseline for the concurrency benchmarks, not for production use.
+    tier.  ``preloaded`` seeds the session from a
+    :class:`~repro.runtime.preload.Preloader`: model and space lookups that
+    miss the cache are served from the preloaded read-only artefacts
+    (exact horizon or any prefix of it) instead of building — the mechanism
+    behind both ``table --share-spaces`` children and ``serve --preload``
+    workers.  ``concurrent_builds=False`` restores the pre-striping
+    behaviour (every build under one session-wide lock) — kept as the
+    measurable baseline for the concurrency benchmarks, not for production
+    use.
     """
 
     def __init__(
@@ -176,6 +190,7 @@ class Session:
         max_weight_bytes: int = DEFAULT_MAX_WEIGHT_BYTES,
         store: Optional[ArtefactStore] = None,
         concurrent_builds: bool = True,
+        preloaded: Optional["Preloader"] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -190,9 +205,12 @@ class Session:
         self._cache = WeightedLRU(max_entries, max_weight_bytes)
         self._store = store
         self._concurrent_builds = concurrent_builds
+        self._preloaded = preloaded
         self._hits = 0
         self._misses = 0
         self._coalesced = 0
+        self._preloaded_hits = 0
+        self._build_seconds: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ cache
 
@@ -229,7 +247,14 @@ class Session:
         return build()
 
     def _build_and_cache(self, key: Tuple, build: Callable[[], object]) -> object:
+        start = time.perf_counter()
         value = self._invoke_build(key, build)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            kind = key[0]
+            self._build_seconds[kind] = (
+                self._build_seconds.get(kind, 0.0) + elapsed
+            )
         self._insert(key, value, built=True)
         self._store_put(key, value)
         return value
@@ -316,10 +341,27 @@ class Session:
                 entries=len(self._cache),
                 max_entries=self.max_entries,
                 coalesced=self._coalesced,
+                preloaded=self._preloaded_hits,
                 weight_bytes=self._cache.total_weight,
                 max_weight_bytes=self.max_weight_bytes,
                 store=MappingProxyType(store) if store is not None else None,
             )
+
+    def build_seconds(self, kinds: Sequence[str] = ("model", "space")) -> float:
+        """Cumulative seconds this session spent building the given artefact
+        kinds (cache-key prefixes: ``model``, ``space``, ``checker``,
+        ``spec``, ``synthesis``, ``result``).
+
+        The default — the shareable space artefacts — is what the grid
+        harness subtracts from a cell's total to split ``build_seconds``
+        from ``check_seconds``.  Preload- and store-served artefacts cost no
+        build time, which is exactly what makes shared-space speedups
+        visible in journals.  Nested builds overlap (a space build's model
+        lookup may itself build), so sums across kinds can slightly
+        overcount; for model-within-space that overlap is sub-millisecond.
+        """
+        with self._lock:
+            return sum(self._build_seconds.get(kind, 0.0) for kind in kinds)
 
     def clear(self) -> None:
         """Drop every cached artefact (statistics and the store are kept)."""
@@ -329,17 +371,38 @@ class Session:
     # ------------------------------------------------------------- artefacts
 
     def _model_key(self, scenario: Scenario) -> Tuple:
-        return (
-            scenario.exchange,
-            scenario.num_agents,
-            scenario.max_faulty,
-            scenario.num_values,
-            scenario.failures,
-        )
+        return runtime_plan.model_key(scenario)
+
+    def _from_preload(self, key: Tuple, fetch: Callable[[], object]):
+        """Probe the preloader for an artefact and seed the cache with it.
+
+        The preloaded path mirrors the store tier: a served artefact is
+        inserted with ``built=False`` (no miss is counted — nothing was
+        built) and counted in ``stats().preloaded``.  ``fetch`` may raise
+        :class:`~repro.systems.space.SpaceBudgetExceeded`, which is exactly
+        what the equivalent fresh build would have raised.
+        """
+        if self._preloaded is None:
+            return None
+        value = fetch()
+        if value is None:
+            return None
+        with self._lock:
+            self._preloaded_hits += 1
+        self._insert(key, value, built=False)
+        return value
 
     def model(self, scenario: Scenario):
         """The (memoised) Byzantine-Agreement model for a scenario."""
-        key = ("model",) + self._model_key(scenario)
+        key = runtime_plan.model_cache_key(scenario)
+        found, value = self._lookup(key)
+        if found:
+            return value
+        value = self._from_preload(
+            key, lambda: self._preloaded.model_for(scenario)
+        )
+        if value is not None:
+            return value
         return self._memo(key, lambda: build_model(scenario))
 
     def _horizon(self, scenario: Scenario) -> int:
@@ -350,14 +413,24 @@ class Session:
     def _space(self, scenario: Scenario):
         """(space, protocol, horizon) under the literature protocol.
 
-        The cache key excludes the engine — all satisfaction backends share
-        one space per (model, protocol, horizon, state budget).
+        The cache key (built by :func:`repro.runtime.plan.space_cache_key`)
+        excludes the engine — all satisfaction backends share one space per
+        (model, protocol, horizon, state budget).  A session with a
+        :class:`~repro.runtime.preload.Preloader` serves cache misses from
+        the preloaded artefacts when they cover the scenario's space at this
+        horizon (exactly, or as a prefix of a taller build).
         """
         protocol = literature_protocol(scenario)
         horizon = self._horizon(scenario)
-        key = ("space",) + self._model_key(scenario) + (
-            protocol.name, horizon, scenario.max_states,
-        )
+        key = runtime_plan.space_cache_key(scenario, protocol.name, horizon)
+        found, value = self._lookup(key)
+        if not found:
+            value = self._from_preload(
+                key, lambda: self._preloaded.space_for(scenario, horizon)
+            )
+            found = value is not None
+        if found:
+            return value, protocol, horizon
         return self._memo(
             key,
             lambda: build_space(

@@ -10,7 +10,9 @@ Examples::
     python -m repro check --exchange floodset --agents 3 --faulty 2
     python -m repro check --exchange floodset --agents 3 --faulty 2 --engine symbolic
     python -m repro table3 --max-n 3 --engine symbolic --output table3-sym.jsonl
+    python -m repro table2 --max-n 3 --no-share-spaces   # per-cell rebuild baseline
     python -m repro serve --port 8765
+    python -m repro serve --workers 4 --preload table1:max-n=4
     python -m repro serve --workers 4 --store /var/cache/repro --store-max-bytes 268435456
     python -m repro store stats /var/cache/repro
     python -m repro store compact /var/cache/repro --max-entries 1000
@@ -120,6 +122,12 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         "--format", choices=sorted(RENDERERS), default="text",
         help="final rendering of the table (default: text)",
     )
+    parser.add_argument(
+        "--share-spaces", action=argparse.BooleanOptionalAction, default=True,
+        help="build each distinct state space once in the scheduler and fork "
+             "the cells that read it from the prebuilt copy (default on; "
+             "--no-share-spaces is the per-cell rebuild baseline)",
+    )
 
 
 def _render_result(result: TableResult, fmt: str) -> str:
@@ -159,6 +167,7 @@ def _table_command(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=store,
         resume=args.resume,
+        share_spaces=args.share_spaces,
     )
     print(_render_result(result, args.format))
     if store is not None and not args.quiet:
@@ -238,6 +247,16 @@ def _serve_command(args: argparse.Namespace) -> int:
             if value < 1:
                 print(f"{flag} must be at least 1", file=sys.stderr)
                 return 2
+    if args.preload is not None:
+        # Validate the frontier spec before binding a socket: a typo'd
+        # --preload should exit 2 immediately, not serve cold.
+        from repro.runtime.preload import parse_frontier
+
+        try:
+            parse_frontier(args.preload)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     return serve(
         host=args.host,
         port=args.port,
@@ -248,6 +267,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         workers=args.workers,
         store_max_bytes=args.store_max_bytes,
         store_max_entries=args.store_max_entries,
+        preload=args.preload,
     )
 
 
@@ -386,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="bound the --store directory to N live entries "
                           "(compacted like --store-max-bytes)")
+    srv.add_argument("--preload", metavar="SPEC", default=None,
+                     help="build the state spaces of a scenario frontier "
+                          "before serving, e.g. 'table1' or "
+                          "'table1:max-n=4,engine=bitset'; under --workers "
+                          "the build happens once pre-fork and every worker "
+                          "shares it copy-on-write, and /health reports "
+                          "ready: false until it completes")
     srv.add_argument("--quiet", action="store_true",
                      help="do not log individual requests")
     srv.set_defaults(func=_serve_command)

@@ -20,7 +20,10 @@ import traceback
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.harness import tasks as task_registry
 from repro.harness.tasks import TASKS
+from repro.runtime.guard import WallClockExceeded, wall_clock_limit
+from repro.systems.space import SpaceBudgetExceeded
 
 #: How long a timed-out child gets to honour SIGTERM before it is SIGKILLed.
 #: A worker stuck inside a single long arbitrary-precision integer operation
@@ -31,7 +34,15 @@ TERM_GRACE_SECONDS = 5.0
 
 @dataclass
 class CaseOutcome:
-    """Outcome of a single experiment case."""
+    """Outcome of a single experiment case.
+
+    ``build_seconds``/``check_seconds`` split ``seconds`` into shareable
+    artefact construction (model + space) and everything else (satisfaction,
+    optimality, synthesis search).  They are None for cells that did not
+    report a split (timeouts, errors, journal records written before the
+    split existed).  Synthesis cells report a build share of ~0 by
+    construction: their space grows inside the search and is not shareable.
+    """
 
     task: str
     params: Dict[str, object]
@@ -39,6 +50,8 @@ class CaseOutcome:
     timed_out: bool
     error: Optional[str] = None
     result: Optional[Dict[str, object]] = None
+    build_seconds: Optional[float] = None
+    check_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -57,19 +70,25 @@ class CaseOutcome:
         return f"{minutes}m{seconds:06.3f}"
 
 
-def _child(task_name: str, params: Dict[str, object], pipe) -> None:
+def _child(task_name: str, params: Dict[str, object], pipe, preloaded=None) -> None:
     # The child measures its own elapsed time: the scheduler may be busy
     # (e.g. escalating a sibling's kill) when this child exits, so a
     # harvest-time measurement in the parent would overstate the runtime.
+    # ``preloaded`` arrived by reference across the fork (copy-on-write, no
+    # pickling); installing it here lets the task's session read the parent's
+    # prebuilt space artefacts.
+    task_registry.set_active_preloader(preloaded)
+    task_registry.consume_last_timing()
     start = time.perf_counter()
     try:
         func = TASKS[task_name]
         result = func(**params)
-        pipe.send(("ok", result, time.perf_counter() - start))
+        timing = task_registry.consume_last_timing()
+        pipe.send(("ok", result, time.perf_counter() - start, timing))
     except MemoryError:
-        pipe.send(("error", "out of memory", None))
+        pipe.send(("error", "out of memory", None, None))
     except Exception:  # pragma: no cover - defensive: report, don't hang
-        pipe.send(("error", traceback.format_exc(limit=5), None))
+        pipe.send(("error", traceback.format_exc(limit=5), None, None))
     finally:
         pipe.close()
 
@@ -91,6 +110,7 @@ class CaseHandle:
         params: Dict[str, object],
         timeout: Optional[float] = None,
         term_grace: float = TERM_GRACE_SECONDS,
+        preloaded=None,
     ) -> None:
         if task not in TASKS:
             raise ValueError(f"unknown task {task!r}; known tasks: {sorted(TASKS)}")
@@ -101,7 +121,10 @@ class CaseHandle:
         self._outcome: Optional[CaseOutcome] = None
         context = multiprocessing.get_context("fork")
         self._pipe, child_pipe = context.Pipe(duplex=False)
-        self._process = context.Process(target=_child, args=(task, params, child_pipe))
+        # The preloader rides the fork by reference: CoW pages, no pickling.
+        self._process = context.Process(
+            target=_child, args=(task, params, child_pipe, preloaded)
+        )
         self.started = time.perf_counter()
         self._process.start()
         # The child inherited its own copy of this end across the fork; the
@@ -159,10 +182,16 @@ class CaseHandle:
                 self._process.kill()
                 self._process.join()
 
-        status, payload, child_seconds = "error", "worker produced no result", None
+        status, payload, child_seconds, timing = (
+            "error", "worker produced no result", None, None,
+        )
         try:
             if self._pipe.poll():
-                status, payload, child_seconds = self._pipe.recv()
+                message = self._pipe.recv()
+                # Tolerate the pre-split 3-tuple shape: a monkeypatched or
+                # stale child sending without timing is not an error.
+                status, payload, child_seconds = message[:3]
+                timing = message[3] if len(message) > 3 else None
         except (EOFError, OSError):  # pragma: no cover - torn-down pipe
             pass
         finally:
@@ -181,6 +210,8 @@ class CaseHandle:
                 seconds=child_seconds if child_seconds is not None else elapsed,
                 timed_out=False,
                 result=payload,
+                build_seconds=timing[0] if timing else None,
+                check_seconds=timing[1] if timing else None,
             )
         elif isinstance(payload, str) and "SpaceBudgetExceeded" in payload:
             # A state-budget violation surfaces as an error; report it as TO
@@ -206,20 +237,38 @@ def run_case(
     timeout: Optional[float] = None,
     in_process: bool = False,
     term_grace: float = TERM_GRACE_SECONDS,
+    preloaded=None,
 ) -> CaseOutcome:
     """Run one experiment case, optionally with a wall-clock budget.
 
-    ``in_process=True`` skips the fork and runs the task directly (no timeout
-    enforcement); this is what the pytest-benchmark benchmarks use so that the
-    measured time is the task itself rather than process start-up.
+    ``in_process=True`` skips the fork and runs the task directly; this is
+    what the pytest-benchmark benchmarks use so that the measured time is the
+    task itself rather than process start-up.  The wall-clock budget still
+    applies in-process, enforced with a SIGALRM interval timer — best-effort
+    (a task stuck in one long C-level operation cannot be interrupted) and,
+    off the main thread, degraded to an explicit ``RuntimeWarning``.
+
+    ``preloaded`` is a :class:`~repro.runtime.preload.Preloader` whose
+    read-only space artefacts the task's session consumes instead of
+    building; forked children inherit it copy-on-write.
     """
     if task not in TASKS:
         raise ValueError(f"unknown task {task!r}; known tasks: {sorted(TASKS)}")
 
     if in_process or timeout is None:
+        previous_preloader = task_registry._ACTIVE_PRELOADER
+        task_registry.set_active_preloader(preloaded)
+        task_registry.consume_last_timing()
         start = time.perf_counter()
         try:
-            result = TASKS[task](**params)
+            with wall_clock_limit(timeout, label=f"task {task!r}"):
+                result = TASKS[task](**params)
+        except (WallClockExceeded, SpaceBudgetExceeded):
+            # Same verdict as the forked path: a busted wall-clock or state
+            # budget is the paper's TO cell, not an error.
+            return CaseOutcome(
+                task=task, params=params, seconds=None, timed_out=True
+            )
         except Exception:
             return CaseOutcome(
                 task=task,
@@ -228,11 +277,22 @@ def run_case(
                 timed_out=False,
                 error=traceback.format_exc(limit=5),
             )
+        finally:
+            task_registry.set_active_preloader(previous_preloader)
         elapsed = time.perf_counter() - start
+        timing = task_registry.consume_last_timing()
         return CaseOutcome(
-            task=task, params=params, seconds=elapsed, timed_out=False, result=result
+            task=task,
+            params=params,
+            seconds=elapsed,
+            timed_out=False,
+            result=result,
+            build_seconds=timing[0] if timing else None,
+            check_seconds=timing[1] if timing else None,
         )
 
-    handle = CaseHandle(task, params, timeout=timeout, term_grace=term_grace)
+    handle = CaseHandle(
+        task, params, timeout=timeout, term_grace=term_grace, preloaded=preloaded
+    )
     handle.join(timeout)
     return handle.harvest()

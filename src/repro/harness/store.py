@@ -62,11 +62,17 @@ def outcome_to_record(outcome: CaseOutcome) -> Dict[str, object]:
         "timed_out": outcome.timed_out,
         "error": outcome.error,
         "result": outcome.result,
+        "build_seconds": outcome.build_seconds,
+        "check_seconds": outcome.check_seconds,
     }
 
 
 def outcome_from_record(record: Dict[str, object]) -> CaseOutcome:
-    """Rebuild an outcome from its JSON journal record."""
+    """Rebuild an outcome from its JSON journal record.
+
+    The timing-split keys are read with ``.get`` so journals written before
+    the build/check split load unchanged (the split reads back as None).
+    """
     return CaseOutcome(
         task=record["task"],
         params=record["params"],
@@ -74,6 +80,8 @@ def outcome_from_record(record: Dict[str, object]) -> CaseOutcome:
         timed_out=record["timed_out"],
         error=record.get("error"),
         result=record.get("result"),
+        build_seconds=record.get("build_seconds"),
+        check_seconds=record.get("check_seconds"),
     )
 
 

@@ -30,6 +30,9 @@ from repro.harness.runner import (
     run_case,
 )
 from repro.harness.store import ResultStore
+from repro.runtime.guard import wall_clock_limit
+from repro.runtime.plan import SpacePlan, cell_space_plan
+from repro.runtime.preload import Preloader
 
 #: A cell: (column label, task name, task parameters).
 CellSpec = Tuple[str, str, Dict[str, object]]
@@ -126,6 +129,110 @@ class _Progress:
         )
 
 
+class _SharedSpaces:
+    """The scheduler's side of the compute plane: group, preload, release.
+
+    Pending cells are regrouped so that cells reading the same
+    :class:`~repro.runtime.plan.SpaceKey` run consecutively; the first cell
+    of a group triggers one parent-side build at the *largest* horizon any
+    cell of the group needs (guarded by the per-cell wall-clock budget), the
+    group's children inherit the artefacts copy-on-write, and the artefacts
+    are released as soon as the group's last cell has forked, so the
+    parent's footprint stays one group wide.  A preload that busts the
+    budget — or fails in any other way — downgrades its whole group to the
+    per-cell rebuild path rather than failing the cells.
+    """
+
+    def __init__(
+        self, pending: List[Tuple], timeout: Optional[float], verbose: bool
+    ) -> None:
+        self.preloader = Preloader()
+        self.timeout = timeout
+        self.verbose = verbose
+        self._failed: set = set()
+        self._remaining: Dict[object, int] = {}
+        self._scenarios: Dict[object, Scenario] = {}
+        self._horizons: Dict[object, int] = {}
+        self.plans: Dict[int, Optional[SpacePlan]] = {}
+
+        group_order: Dict[object, int] = {}
+        annotated = []
+        for position, cell in enumerate(pending):
+            _, _, task, case_params = cell
+            plan = cell_space_plan(task, case_params)
+            if plan is None:
+                # Unshareable cells (synthesis, ad-hoc tasks) keep their
+                # relative order but form no group.
+                token: object = ("solo", position)
+            else:
+                token = plan.key
+                self._remaining[plan.key] = self._remaining.get(plan.key, 0) + 1
+                horizon = self._horizons.get(plan.key)
+                if horizon is None or plan.horizon > horizon:
+                    self._horizons[plan.key] = plan.horizon
+                    self._scenarios[plan.key] = Scenario.from_task_params(
+                        task, dict(case_params)
+                    )
+            group_order.setdefault(token, len(group_order))
+            annotated.append((group_order[token], position, cell, plan))
+        annotated.sort(key=lambda item: (item[0], item[1]))
+        self.schedule = [cell for _, _, cell, _ in annotated]
+        self.plans = {
+            index: plan for index, (_, _, _, plan) in enumerate(annotated)
+        }
+
+    def preloader_for(self, index: int) -> Optional[Preloader]:
+        """The preloader a cell's child should inherit (preloading lazily).
+
+        The parent-side build is bounded by the per-cell wall-clock budget:
+        a space too big to build within one cell's budget would make every
+        cell of its group TO anyway, so the group falls back to per-cell
+        rebuilds (which report the TOs with the usual machinery).
+        """
+        plan = self.plans.get(index)
+        if plan is None or plan.key in self._failed:
+            return None
+        if plan.key not in self.preloader:
+            scenario = self._scenarios[plan.key]
+            horizon = self._horizons[plan.key]
+            label = (
+                f"space preload for {scenario.exchange} "
+                f"n={scenario.num_agents} t={scenario.max_faulty}"
+            )
+            started = time.perf_counter()
+            try:
+                with wall_clock_limit(self.timeout, label=label):
+                    artefacts = self.preloader.ensure(scenario, horizon=horizon)
+            except Exception:
+                # WallClockExceeded (budget), MemoryError, anything else: the
+                # group runs on the per-cell rebuild path instead of failing.
+                self._failed.add(plan.key)
+                self.preloader.release(plan.key)
+                return None
+            if self.verbose:
+                states = (
+                    artefacts.space.num_states()
+                    if artefacts.space is not None else 0
+                )
+                print(
+                    f"  [preload] {scenario.exchange} n={scenario.num_agents} "
+                    f"t={scenario.max_faulty}: {states} states to horizon "
+                    f"{artefacts.built_horizon} in "
+                    f"{time.perf_counter() - started:.2f}s",
+                    flush=True,
+                )
+        return self.preloader
+
+    def forked(self, index: int) -> None:
+        """Note that a cell has forked (or run); release drained groups."""
+        plan = self.plans.get(index)
+        if plan is None:
+            return
+        self._remaining[plan.key] -= 1
+        if self._remaining[plan.key] <= 0:
+            self.preloader.release(plan.key)
+
+
 def run_table(
     spec: TableSpec,
     timeout: Optional[float] = 60.0,
@@ -135,6 +242,7 @@ def run_table(
     store: Optional[ResultStore] = None,
     resume: bool = False,
     term_grace: float = TERM_GRACE_SECONDS,
+    share_spaces: bool = True,
 ) -> TableResult:
     """Run every cell of a table spec with the given budgets.
 
@@ -144,6 +252,18 @@ def run_table(
     with ``resume=True`` cells whose canonical key the store already holds
     are reused instead of re-run, so an interrupted sweep loses at most the
     cells that were in flight.
+
+    With ``share_spaces`` (the default) model-checking cells that read the
+    same literature-protocol space are grouped and served from one
+    parent-side build forked copy-on-write into each child, instead of every
+    child rebuilding the space from scratch; ``share_spaces=False`` is the
+    per-cell rebuild baseline (what the benchmarks compare against).
+    Outcomes are identical either way — a preloaded space is byte-for-byte
+    the space the cell would have built (see :mod:`repro.runtime.plan`) —
+    only the wall-clock changes.  While the parent is building a group's
+    space, harvesting of in-flight cells is delayed: a cell past its
+    deadline is killed correspondingly late, but its recorded time is the
+    child's own measurement, so the delay never inflates reported numbers.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -182,11 +302,23 @@ def run_table(
             store.record(outcome, timeout=timeout)
         progress.report(row_key, column, outcome)
 
+    shared = (
+        _SharedSpaces(pending, timeout, verbose) if share_spaces else None
+    )
+    if shared is not None:
+        pending = shared.schedule
+
     if workers == 1:
-        for row_key, column, task, case_params in pending:
-            outcome = run_case(
-                task, case_params, timeout=timeout, term_grace=term_grace
+        for index, (row_key, column, task, case_params) in enumerate(pending):
+            preloaded = (
+                shared.preloader_for(index) if shared is not None else None
             )
+            outcome = run_case(
+                task, case_params, timeout=timeout, term_grace=term_grace,
+                preloaded=preloaded,
+            )
+            if shared is not None:
+                shared.forked(index)
             record(row_key, column, outcome)
         return result
 
@@ -198,10 +330,16 @@ def run_table(
     while next_cell < len(pending) or in_flight:
         while next_cell < len(pending) and len(in_flight) < workers:
             row_key, column, task, case_params = pending[next_cell]
-            next_cell += 1
-            in_flight[(row_key, column)] = CaseHandle(
-                task, case_params, timeout=timeout, term_grace=term_grace
+            preloaded = (
+                shared.preloader_for(next_cell) if shared is not None else None
             )
+            in_flight[(row_key, column)] = CaseHandle(
+                task, case_params, timeout=timeout, term_grace=term_grace,
+                preloaded=preloaded,
+            )
+            if shared is not None:
+                shared.forked(next_cell)
+            next_cell += 1
         now = time.perf_counter()
         deadlines = [
             handle.deadline - now
@@ -220,8 +358,44 @@ def run_table(
     return result
 
 
+def _timing_split(outcome: Optional[CaseOutcome]) -> Optional[str]:
+    """``build+check`` seconds for one cell, or None when not recorded."""
+    if (
+        outcome is None
+        or outcome.build_seconds is None
+        or outcome.check_seconds is None
+    ):
+        return None
+    return f"{outcome.build_seconds:.3f}+{outcome.check_seconds:.3f}"
+
+
+def _has_timing(result: TableResult) -> bool:
+    return any(
+        _timing_split(outcome) is not None
+        for outcome in result.outcomes.values()
+    )
+
+
+def _render_grid(title: str, header: List[str], body: List[List[str]]) -> str:
+    widths = [len(name) for name in header]
+    for row in body:
+        for position, value in enumerate(row):
+            widths[position] = max(widths[position], len(value))
+    lines = [title]
+    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
 def render_table(result: TableResult) -> str:
-    """Render a table result as aligned text (paper-style rows and columns)."""
+    """Render a table result as aligned text (paper-style rows and columns).
+
+    When any cell recorded the build/check timing split, a second grid with
+    per-cell ``build+check`` seconds follows the paper-style one (build =
+    shareable model + space construction, check = everything else).
+    """
     spec = result.spec
     columns = spec.columns()
     header = list(spec.row_header) + columns
@@ -231,18 +405,21 @@ def render_table(result: TableResult) -> str:
         for column in columns:
             row.append(result.cell(row_key, column))
         body.append(row)
+    rendered = _render_grid(spec.title, header, body)
 
-    widths = [len(name) for name in header]
-    for row in body:
-        for position, value in enumerate(row):
-            widths[position] = max(widths[position], len(value))
-
-    lines = [spec.title]
-    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
-    for row in body:
-        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
-    return "\n".join(lines)
+    if not _has_timing(result):
+        return rendered
+    split_body: List[List[str]] = []
+    for row_key, _ in spec.rows:
+        row = [str(part) for part in row_key]
+        for column in columns:
+            split = _timing_split(result.outcomes.get((row_key, column)))
+            row.append(split if split is not None else "-")
+        split_body.append(row)
+    breakdown = _render_grid(
+        "Timing split: shareable build + check seconds", header, split_body
+    )
+    return rendered + "\n\n" + breakdown
 
 
 def render_json(result: TableResult) -> str:
@@ -279,17 +456,37 @@ def render_json(result: TableResult) -> str:
 
 
 def render_csv(result: TableResult) -> str:
-    """Render a table result as CSV: row-header columns then one per cell."""
+    """Render a table result as CSV: row-header columns then one per cell.
+
+    When any cell recorded the build/check timing split, each cell column is
+    followed by ``<column> build_s`` and ``<column> check_s`` columns (empty
+    for cells without a split — timeouts, errors, pre-split journals).
+    """
     spec = result.spec
     columns = spec.columns()
+    timing = _has_timing(result)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(list(spec.row_header) + columns)
+    header = list(spec.row_header)
+    for column in columns:
+        header.append(column)
+        if timing:
+            header.extend([f"{column} build_s", f"{column} check_s"])
+    writer.writerow(header)
     for row_key, _ in spec.rows:
-        writer.writerow(
-            [str(part) for part in row_key]
-            + [result.cell(row_key, column) for column in columns]
-        )
+        row = [str(part) for part in row_key]
+        for column in columns:
+            row.append(result.cell(row_key, column))
+            if timing:
+                outcome = result.outcomes.get((row_key, column))
+                if outcome is not None and outcome.build_seconds is not None:
+                    row.extend(
+                        [f"{outcome.build_seconds:.3f}",
+                         f"{outcome.check_seconds:.3f}"]
+                    )
+                else:
+                    row.extend(["", ""])
+        writer.writerow(row)
     return buffer.getvalue()
 
 

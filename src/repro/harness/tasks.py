@@ -12,16 +12,69 @@ cells run in forked children anyway, and the in-process runs the benchmarks
 use must measure real construction cost, not a warm cache.  Long-lived
 callers that want amortisation (the CLI one-shots, ``repro serve``) hold a
 session of their own.
+
+Two process-local channels connect the tasks to the compute plane without
+changing the task signatures (which are pickled across the fork boundary as
+plain kwargs):
+
+* :func:`set_active_preloader` installs a
+  :class:`~repro.runtime.preload.Preloader` whose read-only artefacts every
+  subsequent task's session consumes (forked children inherit the parent's
+  preloader copy-on-write and the runner re-installs it after the fork).
+* :data:`LAST_TIMING` publishes each task's ``(build_seconds,
+  check_seconds)`` split, which the runner attaches to the cell outcome.
+
 The returned dictionaries are the typed results' legacy ``to_dict`` form,
 byte-compatible with pre-redesign result journals.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import time
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.api import Scenario, Session
 from repro.engines import DEFAULT_ENGINE
+
+#: The preloader whose artefacts task sessions consume (process-local).
+_ACTIVE_PRELOADER = None
+
+#: The ``(build_seconds, check_seconds)`` split of the last task run in this
+#: process, or None.  A side channel rather than a return-value change so the
+#: task result dictionaries stay byte-compatible with existing journals.
+LAST_TIMING: Optional[Tuple[float, float]] = None
+
+
+def set_active_preloader(preloader) -> None:
+    """Install the process-local preloader task sessions will consume."""
+    global _ACTIVE_PRELOADER
+    _ACTIVE_PRELOADER = preloader
+
+
+def consume_last_timing() -> Optional[Tuple[float, float]]:
+    """Pop the ``(build, check)`` seconds of the last task run, if any."""
+    global LAST_TIMING
+    timing, LAST_TIMING = LAST_TIMING, None
+    return timing
+
+
+def _run_timed(query: Callable[[Session], object]) -> Dict[str, object]:
+    """Run one query on a fresh session and publish its timing split.
+
+    ``build_seconds`` is the session's shareable-artefact build time (model +
+    space) — the part a preloaded space amortises away; ``check_seconds`` is
+    everything else (satisfaction, optimality, synthesis search).  Synthesis
+    cells build their space incrementally inside the search, so their build
+    share is reported as ~0 by construction: there is no shareable build.
+    """
+    global LAST_TIMING
+    session = Session(preloaded=_ACTIVE_PRELOADER)
+    start = time.perf_counter()
+    result = query(session)
+    total = time.perf_counter() - start
+    build = session.build_seconds()
+    LAST_TIMING = (min(build, total), max(total - build, 0.0))
+    return result.to_dict()
 
 
 def sba_model_check_task(
@@ -51,7 +104,7 @@ def sba_model_check_task(
             engine=engine,
         ),
     )
-    return Session().check(scenario).to_dict()
+    return _run_timed(lambda session: session.check(scenario))
 
 
 def sba_temporal_only_task(
@@ -77,7 +130,7 @@ def sba_temporal_only_task(
             engine=engine,
         ),
     )
-    return Session().check_temporal(scenario).to_dict()
+    return _run_timed(lambda session: session.check_temporal(scenario))
 
 
 def sba_synthesis_task(
@@ -99,7 +152,7 @@ def sba_synthesis_task(
             max_states=max_states, engine=engine,
         ),
     )
-    return Session().synthesize(scenario).to_dict()
+    return _run_timed(lambda session: session.synthesize(scenario))
 
 
 def eba_synthesis_task(
@@ -118,7 +171,7 @@ def eba_synthesis_task(
             failures=failures, max_states=max_states, engine=engine,
         ),
     )
-    return Session().synthesize(scenario).to_dict()
+    return _run_timed(lambda session: session.synthesize(scenario))
 
 
 def eba_model_check_task(
@@ -137,7 +190,7 @@ def eba_model_check_task(
             failures=failures, max_states=max_states, engine=engine,
         ),
     )
-    return Session().check(scenario).to_dict()
+    return _run_timed(lambda session: session.check(scenario))
 
 
 #: Registry used by the subprocess runner (names must be stable).

@@ -133,3 +133,57 @@ def test_prefork_lifecycle(tmp_path):
         if process.poll() is None:
             process.kill()
             process.communicate(timeout=30)
+
+
+def test_prefork_preload_gates_health_until_ready(tmp_path):
+    env = _env()
+    env["REPRO_SERVE_PRELOAD_DELAY"] = "2.0"  # hold the gate open for polling
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--preload", "table1:max-n=3",
+         "--store", str(tmp_path / "store"), "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = _BANNER.search(banner)
+        assert match, f"no preload banner (got {banner!r})"
+        assert "preloading" in banner
+        url = f"http://127.0.0.1:{match.group(1)}"
+
+        # --- while preloading, /health answers but reports not ready ------
+        status, body = _get(url + "/health")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["ready"] is False
+        assert body["status"] == "preloading"
+
+        # --- readiness flips once the preload completes -------------------
+        deadline = time.time() + 120
+        body = None
+        while time.time() < deadline:
+            try:
+                _, body = _get(url + "/health", timeout=10)
+            except Exception:
+                body = None
+            if body and body.get("ready"):
+                break
+            time.sleep(0.2)
+        assert body and body["ready"] is True, body
+        assert body["status"] == "serving"
+
+        # --- the first query is warm: served from preloaded artefacts -----
+        status, answer = _post(
+            url + "/check",
+            {"scenario": {"exchange": "floodset", "num_agents": 3,
+                          "max_faulty": 1}})
+        assert status == 200 and answer["ok"] is True
+        _, stats = _get(url + "/stats")
+        assert stats["aggregate"]["preloaded"] >= 2
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.communicate(timeout=30)

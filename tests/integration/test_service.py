@@ -448,3 +448,96 @@ class TestConcurrency:
         # The shared session answered at least the repeats from cache.
         final_stats = results[-1][1]["cache"]
         assert final_stats["hits"] >= 7
+
+
+class TestReadinessGating:
+    def test_health_gates_on_the_ready_event(self):
+        ready = threading.Event()
+        server = make_server(port=0, ready_event=ready)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, body = _get(url + "/health")
+            assert status == 200
+            assert body["ok"] is True
+            assert body["ready"] is False
+            assert body["status"] == "preloading"
+
+            # Queries are still answered cold while the preload runs.
+            status, answer = _post(url + "/check", {"scenario": SCENARIO})
+            assert status == 200 and answer["ok"] is True
+
+            ready.set()
+            status, body = _get(url + "/health")
+            assert body["ready"] is True
+            assert body["status"] == "serving"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_health_without_gating_is_ready_immediately(self):
+        server = make_server(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, body = _get(url + "/health")
+            assert body["ready"] is True
+            assert body["status"] == "serving"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_single_worker_serve_preloads_in_the_background(self, tmp_path):
+        import os
+        import re
+        import signal as signal_module
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + existing if existing else "")
+        env["REPRO_SERVE_PRELOAD_DELAY"] = "1.0"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--preload", "table1:max-n=3", "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no serve banner (got {banner!r})"
+            url = f"http://127.0.0.1:{match.group(1)}"
+
+            status, body = _get(url + "/health")
+            assert status == 200 and body["ready"] is False
+
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                _, body = _get(url + "/health")
+                if body.get("ready"):
+                    break
+                time.sleep(0.2)
+            assert body["ready"] is True and body["status"] == "serving"
+
+            status, answer = _post(url + "/check", {"scenario": SCENARIO})
+            assert status == 200 and answer["ok"] is True
+            _, stats = _get(url + "/stats")
+            assert stats["cache"]["preloaded"] >= 2
+        finally:
+            process.send_signal(signal_module.SIGTERM)
+            try:
+                process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.communicate(timeout=30)

@@ -292,3 +292,56 @@ class TestThreadSafety:
             thread.join()
         assert len(results) == 8
         assert all(result is results[0] for result in results)
+
+
+class TestPreloadedSessions:
+    def test_preloaded_artefacts_are_served_not_built(self):
+        from repro.runtime.preload import Preloader
+
+        preloader = Preloader()
+        preloader.preload_cells([("sba-model-check", FLOODSET)])
+        session = Session(preloaded=preloader)
+        cold = Session().check(FLOODSET)
+        warm = session.check(FLOODSET)
+        assert warm.to_dict() == cold.to_dict()
+        stats = session.stats()
+        assert stats.preloaded == 2  # model + space both came preloaded
+        assert session.build_seconds() == 0.0
+
+    def test_preloader_serves_prefix_horizons(self):
+        from repro.runtime.preload import Preloader
+
+        tall = Scenario(exchange="floodset", num_agents=3, max_faulty=1)
+        short = Scenario(exchange="floodset", num_agents=3, max_faulty=1,
+                         rounds=2)
+        preloader = Preloader()
+        preloader.ensure(tall)
+        session = Session(preloaded=preloader)
+        cold = Session().check(short)
+        assert session.check(short).to_dict() == cold.to_dict()
+        assert session.stats().preloaded == 2
+
+    def test_falls_through_to_fresh_build_when_not_preloaded(self):
+        from repro.runtime.preload import Preloader
+
+        preloader = Preloader()
+        preloader.preload_cells([("sba-model-check", FLOODSET)])
+        session = Session(preloaded=preloader)
+        other = Scenario(exchange="floodset", num_agents=4, max_faulty=1)
+        cold = Session().check(other)
+        assert session.check(other).to_dict() == cold.to_dict()
+        assert session.stats().preloaded == 0
+        assert session.build_seconds() > 0.0
+
+    def test_preloaded_counter_rides_aggregation(self):
+        from repro.api.session import SessionStats
+        from repro.runtime.preload import Preloader
+
+        preloader = Preloader()
+        preloader.preload_cells([("sba-model-check", FLOODSET)])
+        warm = Session(preloaded=preloader)
+        warm.check(FLOODSET)
+        merged = SessionStats.aggregate_json([
+            warm.stats().to_json(), Session().stats().to_json(),
+        ])
+        assert merged["preloaded"] == 2

@@ -227,7 +227,12 @@ class TestCommands:
         code = main(["report", str(results), "--format", "csv"])
         csv_out = capsys.readouterr().out
         assert code == 0
-        assert csv_out.splitlines()[0] == "n,t,floodset-mc,floodset-synth,count-mc,count-synth"
+        assert csv_out.splitlines()[0] == (
+            "n,t,floodset-mc,floodset-mc build_s,floodset-mc check_s,"
+            "floodset-synth,floodset-synth build_s,floodset-synth check_s,"
+            "count-mc,count-mc build_s,count-mc check_s,"
+            "count-synth,count-synth build_s,count-synth check_s"
+        )
 
         code = main(["report", str(results), "--format", "json"])
         json_out = capsys.readouterr().out
@@ -402,3 +407,31 @@ class TestStoreCommand:
                      "--max-bytes", "0"])
         assert code == 2
         assert "--max-bytes" in capsys.readouterr().err
+
+
+class TestSharedComputePlaneFlags:
+    def test_share_spaces_defaults_on_with_an_off_switch(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).share_spaces is True
+        assert parser.parse_args(
+            ["table1", "--share-spaces"]).share_spaces is True
+        assert parser.parse_args(
+            ["table2", "--no-share-spaces"]).share_spaces is False
+
+    def test_serve_accepts_a_preload_frontier(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--preload", "table1:max-n=4"])
+        assert args.preload == "table1:max-n=4"
+        assert parser.parse_args(["serve"]).preload is None
+
+    def test_serve_rejects_a_bad_preload_spec_before_binding(self, capsys):
+        code = main(["serve", "--preload", "table9"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown preload frontier" in captured.err + captured.out
+
+    def test_table_grid_runs_with_sharing_disabled(self, capsys):
+        code = main(["table1", "--max-n", "2", "--timeout", "60", "--quiet",
+                     "--no-share-spaces"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -108,6 +108,81 @@ class TestRunCase:
             assert outcome.cell() == expected, seconds
 
 
+class TestInProcessWallClock:
+    """Satellite: ``in_process=True`` must honour the wall-clock budget."""
+
+    def test_in_process_timeout_is_enforced(self, monkeypatch):
+        def _sleepy(seconds: float = 30.0, engine: str = "bitset") -> dict:
+            time.sleep(seconds)
+            return {}
+
+        monkeypatch.setitem(TASKS, "sleepy", _sleepy)
+        start = time.monotonic()
+        outcome = run_case("sleepy", {"seconds": 30.0}, timeout=0.2,
+                           in_process=True)
+        assert outcome.timed_out
+        assert outcome.cell() == "TO"
+        assert time.monotonic() - start < 10.0
+
+    def test_in_process_within_budget_is_untouched(self):
+        outcome = run_case("sba-synthesis", dict(QUICK_CASE), timeout=60.0,
+                           in_process=True)
+        assert outcome.ok and not outcome.timed_out
+
+    def test_off_main_thread_degrades_with_warning(self, monkeypatch):
+        import threading
+        import warnings
+
+        def _nap(engine: str = "bitset") -> dict:
+            time.sleep(0.3)
+            return {}
+
+        monkeypatch.setitem(TASKS, "nap", _nap)
+        observed = {}
+
+        def _run():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                observed["outcome"] = run_case(
+                    "nap", {}, timeout=0.05, in_process=True)
+                observed["warnings"] = [str(w.message) for w in caught]
+
+        thread = threading.Thread(target=_run)
+        thread.start()
+        thread.join()
+        # Signals only work on the main thread: the task runs to completion
+        # and the degraded enforcement is called out loudly.
+        assert observed["outcome"].ok
+        assert any("not enforced" in msg for msg in observed["warnings"])
+
+
+class TestTimingSplit:
+    def test_in_process_outcome_carries_build_check_split(self):
+        outcome = run_case("sba-model-check", dict(QUICK_CASE),
+                           in_process=True)
+        assert outcome.ok
+        assert outcome.build_seconds is not None
+        assert outcome.check_seconds is not None
+        assert outcome.build_seconds + outcome.check_seconds \
+            <= outcome.seconds + 0.05
+
+    def test_forked_outcome_carries_build_check_split(self):
+        outcome = run_case("sba-model-check", dict(QUICK_CASE), timeout=60.0)
+        assert outcome.ok
+        assert outcome.build_seconds is not None
+        assert outcome.check_seconds is not None
+
+    def test_failed_outcomes_have_no_split(self):
+        outcome = run_case(
+            "sba-synthesis",
+            {"exchange": "floodset", "num_agents": 2, "max_faulty": 5},
+            in_process=True,
+        )
+        assert not outcome.ok
+        assert outcome.build_seconds is None
+        assert outcome.check_seconds is None
+
+
 class TestRunnerResourceHandling:
     @pytest.mark.skipif(
         not os.path.isdir("/proc/self/fd"), reason="needs /proc fd accounting"
@@ -248,7 +323,10 @@ class TestRunAndRenderTable:
             for cell in row["cells"].values()
         )
         csv_lines = render_csv(result).strip().splitlines()
-        assert csv_lines[0] == "n,t,floodset-mc,floodset-synth"
+        assert csv_lines[0] == (
+            "n,t,floodset-mc,floodset-mc build_s,floodset-mc check_s,"
+            "floodset-synth,floodset-synth build_s,floodset-synth check_s"
+        )
         assert len(csv_lines) == 1 + len(spec.rows)
 
 

@@ -52,10 +52,22 @@ class TestOutcomeRecords:
             _outcome(),
             _outcome(seconds=None, timed_out=True, result=None),
             _outcome(seconds=None, error="boom", result=None),
+            _outcome(build_seconds=0.15, check_seconds=0.1),
         ],
     )
     def test_round_trip(self, outcome):
         assert outcome_from_record(outcome_to_record(outcome)) == outcome
+
+    def test_pre_split_records_load_with_no_timing(self):
+        # Journals written before the build/check timing split have no
+        # timing keys: they must load cleanly and report an absent split.
+        record = outcome_to_record(_outcome())
+        del record["build_seconds"]
+        del record["check_seconds"]
+        loaded = outcome_from_record(record)
+        assert loaded.build_seconds is None
+        assert loaded.check_seconds is None
+        assert loaded.result == {"n": 2, "t": 1}
 
 
 class TestResultStore:
@@ -314,11 +326,12 @@ class TestRunTableWithStore:
         run_table(spec, timeout=60.0, store=ResultStore(store.path),
                   verbose=False)
         reloaded = ResultStore(store.path)
-        # Duplicate keys collapse on reload; the rendered table is complete.
+        # Duplicate keys collapse on reload; the rendered table is complete
+        # (no "-" cells in the paper-style grid, which ends at the blank line
+        # before the timing-split grid).
         assert len(reloaded) == sum(len(cells) for _, cells in spec.rows)
-        assert "-" not in render_table(reloaded.load_result()).split(
-            "\n", 3
-        )[3]
+        main_grid = render_table(reloaded.load_result()).split("\n\n")[0]
+        assert "-" not in main_grid.split("\n", 3)[3]
 
 
 class TestScenarioKeyNormalisation:
