@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.results import SCHEMA_VERSION
+from repro.obs import metrics as obs_metrics
 
 logger = logging.getLogger(__name__)
 
@@ -92,6 +93,7 @@ class ArtefactStore:
         max_bytes: Optional[int] = None,
         max_entries: Optional[int] = None,
         compact_interval: int = 64,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
@@ -118,6 +120,12 @@ class ArtefactStore:
             "compactions": 0,
             "compacted": 0,
         }
+        registry = obs_metrics.REGISTRY if metrics is None else metrics
+        self._m_events = registry.counter(
+            "repro_store_events_total",
+            "Persistent artefact-store events (hits, misses, writes, "
+            "write_errors, quarantined, compactions, compacted)",
+        )
         for subdir in (_RESULTS_DIR, _ARTEFACTS_DIR, _QUARANTINE_DIR):
             (self.root / subdir).mkdir(parents=True, exist_ok=True)
         if self.max_bytes is not None or self.max_entries is not None:
@@ -164,6 +172,7 @@ class ArtefactStore:
     def _count(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[counter] += amount
+        self._m_events.inc(amount, event=counter)
 
     @staticmethod
     def _touch(path: Path) -> None:

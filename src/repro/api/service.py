@@ -20,6 +20,10 @@ Endpoints (all JSON):
 * ``GET /stats`` — the session's cumulative cache statistics; under
   ``--workers N`` also every worker's labelled counters plus their
   aggregate.
+* ``GET /metrics`` — Prometheus text exposition of the process metrics
+  (per-endpoint request counters and latency histograms, session cache
+  tiers, store events); under ``--workers N`` any worker answers for the
+  whole front with per-worker labelled series.
 
 Every successful response carries ``{"ok": true, "result": <typed result
 JSON>, "cache": <stats>}``; the result payloads are the versioned schema of
@@ -61,10 +65,10 @@ served, just cold).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import socket
-import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -72,9 +76,19 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.api.artefact_store import ArtefactStore
+from repro.api.results import SCHEMA_VERSION
 from repro.api.scenario import Scenario
 from repro.api.session import QUERY_OPS, Session, SessionStats
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.preload import Preloader, parse_frontier
+from repro.version import __version__
+
+#: Service diagnostics logger (configured by :func:`repro.obs.log.setup`;
+#: informational records go to stdout, warnings and errors to stderr,
+#: byte-compatible with the ``print`` diagnostics this replaced).
+_LOG = logging.getLogger("repro.serve")
 
 #: Default bind address and port for ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -123,6 +137,17 @@ WORKER_MAX_INFLIGHT = 2
 
 _STATS_DIR_NAME = "stats"
 
+#: Endpoints the per-endpoint HTTP metrics label by path; anything else is
+#: folded into "other" so scanners cannot inflate the label cardinality.
+_KNOWN_ENDPOINTS = frozenset(
+    {"/check", "/synthesize", "/batch", "/health", "/healthz", "/stats",
+     "/metrics"}
+)
+
+
+def _endpoint_label(path: str) -> str:
+    return path if path in _KNOWN_ENDPOINTS else "other"
+
 
 class ServiceError(ValueError):
     """A client error with the HTTP status it should map to."""
@@ -153,7 +178,14 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------- plumbing
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if getattr(self.server, "verbose", False):
+        if not getattr(self.server, "verbose", False):
+            return
+        if obs_log.active_format() == "json":
+            # Keep the JSON diagnostic stream pure: the stock access line
+            # writes raw text straight to stderr, so reroute it through
+            # the logger (which carries the active trace ID too).
+            _LOG.info("%s - - %s", self.address_string(), format % args)
+        else:
             super().log_message(format, *args)
 
     @property
@@ -163,9 +195,23 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     def _begin_request(self) -> None:
         self._body_consumed = False
         self._connection_dead = False
+        self._status: Optional[int] = None
+        self._request_started = time.perf_counter()
+        # Honour a well-formed incoming trace ID, mint one otherwise; the
+        # effective ID is echoed back in the response headers and rides the
+        # contextvar into every span this handler thread records.
+        self._trace_token, self._trace_id = obs_trace.begin(
+            self.headers.get(obs_trace.HEADER)
+        )
         self.server.request_begun()
 
     def _end_request(self) -> None:
+        elapsed = time.perf_counter() - self._request_started
+        self.server.observe_request(
+            _endpoint_label(self.path), self.command,
+            self._status if self._status is not None else 0, elapsed,
+        )
+        obs_trace.end(self._trace_token)
         self.server.request_done()
         self.server.publish_stats()
 
@@ -206,11 +252,18 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             return True  # a lying header: nothing about the socket is known
 
     def _respond(self, status: int, payload: dict, close: bool = False) -> None:
-        body = json.dumps(payload).encode()
+        self._send_body(status, json.dumps(payload).encode(),
+                        "application/json", close)
+
+    def _send_body(self, status: int, body: bytes, content_type: str,
+                   close: bool = False) -> None:
+        self._status = status
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            if getattr(self, "_trace_id", None):
+                self.send_header(obs_trace.HEADER, self._trace_id)
             if close:
                 # send_header("Connection", "close") also flips
                 # self.close_connection, ending the keep-alive loop.
@@ -252,12 +305,23 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 # without one); queries are answered either way — a
                 # not-ready worker just builds cold.
                 ready = getattr(self.server, "ready", True)
+                started_at = self.server.started_at
                 self._respond_ok({
                     "status": "serving" if ready else "preloading",
                     "ready": ready,
+                    # Restart forensics: a load balancer (or an operator)
+                    # tells a freshly restarted worker from a long-lived one
+                    # by its uptime, and a mixed-version front by `version`.
+                    "started_at": round(started_at, 3),
+                    "uptime_seconds": round(time.time() - started_at, 3),
+                    "version": __version__,
+                    "schema_version": SCHEMA_VERSION,
                 })
             elif self.path == "/stats":
                 self._respond_ok(self.server.stats_payload())
+            elif self.path == "/metrics":
+                self._send_body(200, self.server.metrics_exposition().encode(),
+                                obs_metrics.CONTENT_TYPE)
             else:
                 self._respond_error(404, f"unknown endpoint {self.path!r}")
         except ConnectionError:
@@ -268,14 +332,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         self._begin_request()
         try:
-            if self.path == "/check":
-                self._handle_check()
-            elif self.path == "/synthesize":
-                self._handle_synthesize()
-            elif self.path == "/batch":
-                self._handle_batch()
-            else:
-                self._respond_error(404, f"unknown endpoint {self.path!r}")
+            with obs_trace.span(f"http.{_endpoint_label(self.path)}"):
+                if self.path == "/check":
+                    self._handle_check()
+                elif self.path == "/synthesize":
+                    self._handle_synthesize()
+                elif self.path == "/batch":
+                    self._handle_batch()
+                else:
+                    self._respond_error(404, f"unknown endpoint {self.path!r}")
         except ServiceError as exc:
             self._respond_error(exc.status, str(exc))
         except ConnectionError:
@@ -374,6 +439,29 @@ class ReproServer(ThreadingHTTPServer):
         self.worker_label = worker_label
         self.stats_dir = stats_dir
         self.max_inflight = max_inflight
+        self.started_at = time.time()
+        self.metrics = obs_metrics.REGISTRY
+        self._m_http = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint, method and status",
+        )
+        self._m_http_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency by endpoint",
+        )
+        self._m_start_time = self.metrics.gauge(
+            "repro_process_start_time_seconds",
+            "Unix time this serving process started",
+        )
+        self._m_start_time.set(round(self.started_at, 3))
+        self._m_cache_entries = self.metrics.gauge(
+            "repro_session_cache_entries",
+            "Artefacts resident in the session cache",
+        )
+        self._m_cache_weight = self.metrics.gauge(
+            "repro_session_cache_weight_bytes",
+            "Estimated resident bytes of the session cache",
+        )
         #: Set once a background --preload completes; None = nothing to wait
         #: for (the server was born ready).
         self.ready_event = ready_event
@@ -438,17 +526,53 @@ class ReproServer(ThreadingHTTPServer):
         with self._active_lock:
             return self._active_connections
 
+    # --------------------------------------------------------------- metrics
+
+    def observe_request(self, endpoint: str, method: str, status: int,
+                        seconds: float) -> None:
+        """Record one finished HTTP request in the process metrics."""
+        self._m_http.inc(endpoint=endpoint, method=method, status=status)
+        self._m_http_seconds.observe(seconds, endpoint=endpoint)
+
+    def _refresh_gauges(self) -> None:
+        stats = self.session.stats()
+        self._m_cache_entries.set(stats.entries)
+        self._m_cache_weight.set(stats.weight_bytes)
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus text body for ``GET /metrics``.
+
+        Single-process servers expose their own registry.  Pre-fork workers
+        publish their snapshot into the shared ``stats/`` directory on every
+        request, so any worker can render the whole front: each sibling's
+        series carries a ``worker`` label (summing over it gives the
+        front-wide aggregate, the way any Prometheus setup aggregates
+        instances).
+        """
+        self._refresh_gauges()
+        if self.stats_dir is None:
+            return self.metrics.exposition()
+        self.publish_stats()  # this worker's own snapshot must be fresh
+        snapshots = []
+        for label, record in sorted(self._read_worker_records().items()):
+            snapshot = record.get("metrics")
+            if isinstance(snapshot, dict):
+                snapshots.append((label, snapshot))
+        return obs_metrics.render_exposition(snapshots)
+
     # ------------------------------------------------- per-worker statistics
 
     def publish_stats(self) -> None:
         """Write this worker's labelled counter snapshot for aggregation."""
         if self.stats_dir is None or self.worker_label is None:
             return
+        self._refresh_gauges()
         record = {
             "worker": self.worker_label,
             "pid": os.getpid(),
             "updated": time.time(),
             "cache": self.session.stats().to_json(),
+            "metrics": self.metrics.snapshot(),
         }
         path = Path(self.stats_dir) / f"{self.worker_label}.json"
         tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
@@ -461,11 +585,8 @@ class ReproServer(ThreadingHTTPServer):
             except OSError:
                 pass
 
-    def stats_payload(self) -> Dict[str, object]:
-        """The extra ``/stats`` payload: per-worker views plus aggregate."""
-        if self.stats_dir is None:
-            return {}
-        self.publish_stats()  # this worker's own view must be fresh
+    def _read_worker_records(self) -> Dict[str, Dict[str, object]]:
+        """Every sibling worker's published snapshot, keyed by label."""
         workers: Dict[str, Dict[str, object]] = {}
         try:
             entries = sorted(Path(self.stats_dir).glob("worker-*.json"))
@@ -478,6 +599,14 @@ class ReproServer(ThreadingHTTPServer):
                 continue
             if isinstance(record, dict) and isinstance(record.get("cache"), dict):
                 workers[str(record.get("worker", entry.stem))] = record
+        return workers
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The extra ``/stats`` payload: per-worker views plus aggregate."""
+        if self.stats_dir is None:
+            return {}
+        self.publish_stats()  # this worker's own view must be fresh
+        workers = self._read_worker_records()
         return {
             "workers": workers,
             "aggregate": SessionStats.aggregate_json(
@@ -557,7 +686,7 @@ def _run_preload(preloader: Preloader, cells) -> Dict[str, int]:
 
 
 def _answer_while_preloading(
-    listening: socket.socket, stop: threading.Event
+    listening: socket.socket, stop: threading.Event, started_at: float
 ) -> threading.Thread:
     """Answer probes on the bound socket while the pre-fork parent preloads.
 
@@ -579,7 +708,11 @@ def _answer_while_preloading(
             if path in ("/health", "/healthz"):
                 status = b"200 OK"
                 body = json.dumps(
-                    {"ok": True, "status": "preloading", "ready": False}
+                    {"ok": True, "status": "preloading", "ready": False,
+                     "started_at": round(started_at, 3),
+                     "uptime_seconds": round(time.time() - started_at, 3),
+                     "version": __version__,
+                     "schema_version": SCHEMA_VERSION}
                 ).encode()
             else:
                 status = b"503 Service Unavailable"
@@ -704,6 +837,7 @@ def _serve_prefork(
     build.  A failed preload downgrades to cold serving rather than refusing
     to start.
     """
+    parent_started = time.time()
     listening = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listening.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
@@ -724,20 +858,23 @@ def _serve_prefork(
 
     preloader: Optional[Preloader] = None
     if preload_cells:
-        print(f"repro serve: preloading {len(preload_cells)} frontier cells "
-              f"on http://{bound_host}:{bound_port} (health reports "
-              f"ready: false until done)", flush=True)
+        _LOG.info(
+            "repro serve: preloading %d frontier cells on http://%s:%s "
+            "(health reports ready: false until done)",
+            len(preload_cells), bound_host, bound_port,
+        )
         preloader = Preloader()
         gate_stop = threading.Event()
-        gate = _answer_while_preloading(listening, gate_stop)
+        gate = _answer_while_preloading(listening, gate_stop, parent_started)
         try:
             summary = _run_preload(preloader, preload_cells)
-            print(f"repro serve: preloaded {summary['spaces']} spaces "
-                  f"({summary['states']} states) for {len(preload_cells)} "
-                  f"frontier cells", flush=True)
+            _LOG.info(
+                "repro serve: preloaded %d spaces (%d states) for %d "
+                "frontier cells",
+                summary["spaces"], summary["states"], len(preload_cells),
+            )
         except Exception as exc:
-            print(f"repro serve: preload failed ({exc}); serving cold",
-                  file=sys.stderr, flush=True)
+            _LOG.warning("repro serve: preload failed (%s); serving cold", exc)
             preloader = None
         finally:
             gate_stop.set()
@@ -796,10 +933,12 @@ def _serve_prefork(
         children[spawn(index)] = index
 
     store_note = f"; store {store_dir}" if store_dir is not None else ""
-    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
-          f"({workers} workers, cache {cache_size} entries per worker"
-          f"{store_note}; endpoints: /check /synthesize /batch /health "
-          f"/stats)", flush=True)
+    _LOG.info(
+        "repro serve: listening on http://%s:%s (%d workers, cache %d "
+        "entries per worker%s; endpoints: /check /synthesize /batch /health "
+        "/stats /metrics)",
+        bound_host, bound_port, workers, cache_size, store_note,
+    )
 
     while children:
         try:
@@ -814,9 +953,10 @@ def _serve_prefork(
         exit_code = os.waitstatus_to_exitcode(status)
         restarts[index] = restarts.get(index, 0) + 1
         delay = min(backoff_base * (2 ** (restarts[index] - 1)), 30.0)
-        print(f"repro serve: worker-{index} (pid {pid}) exited "
-              f"unexpectedly ({exit_code}); restarting in {delay:.1f}s",
-              file=sys.stderr, flush=True)
+        _LOG.warning(
+            "repro serve: worker-%d (pid %d) exited unexpectedly (%s); "
+            "restarting in %.1fs", index, pid, exit_code, delay,
+        )
         if delay:
             time.sleep(delay)
         if stopping:  # the fan-out signal may land during the backoff sleep
@@ -825,7 +965,7 @@ def _serve_prefork(
 
     signal.alarm(0)
     listening.close()
-    print("repro serve: shut down", flush=True)
+    _LOG.info("repro serve: shut down")
     return 0
 
 
@@ -840,6 +980,8 @@ def serve(
     store_max_bytes: Optional[int] = None,
     store_max_entries: Optional[int] = None,
     preload: Optional[str] = None,
+    log_format: str = "text",
+    log_level: str = "info",
 ) -> int:
     """Run the JSON service until interrupted (the ``repro serve`` command).
 
@@ -862,7 +1004,14 @@ def serve(
     under ``--workers N``, so all workers share the build copy-on-write —
     and ``/health`` reports ``ready: false`` until the build completes.
     Raises ``ValueError`` for a malformed spec before binding the socket.
+
+    ``log_format``/``log_level`` configure the diagnostics stream (see
+    :func:`repro.obs.log.setup`): ``text`` (the default) is byte-compatible
+    with the historical ``print`` output, ``json`` emits one structured
+    record per line; ``--log-level debug`` additionally surfaces the
+    per-request trace spans.
     """
+    obs_log.setup(log_format, log_level)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     preload_cells = parse_frontier(preload) if preload else None
@@ -888,9 +1037,11 @@ def serve(
     bound_host, bound_port = server.server_address[:2]
     store_note = f"; store {store_dir}" if store_dir is not None else ""
     preload_note = f"; preloading {preload}" if preload else ""
-    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
-          f"(cache {cache_size} entries{store_note}{preload_note}; "
-          f"endpoints: /check /synthesize /batch /health /stats)", flush=True)
+    _LOG.info(
+        "repro serve: listening on http://%s:%s (cache %d entries%s%s; "
+        "endpoints: /check /synthesize /batch /health /stats /metrics)",
+        bound_host, bound_port, cache_size, store_note, preload_note,
+    )
     if preload_cells:
         # Background preload: the server answers immediately (cold queries
         # build as usual), /health flips to ready once the build lands.
@@ -899,11 +1050,11 @@ def serve(
         def _preload_in_background() -> None:
             try:
                 summary = _run_preload(preloader, preload_cells)
-                print(f"repro serve: preloaded {summary['spaces']} spaces "
-                      f"({summary['states']} states)", flush=True)
+                _LOG.info("repro serve: preloaded %d spaces (%d states)",
+                          summary["spaces"], summary["states"])
             except Exception as exc:
-                print(f"repro serve: preload failed ({exc}); serving cold",
-                      file=sys.stderr, flush=True)
+                _LOG.warning("repro serve: preload failed (%s); serving cold",
+                             exc)
             finally:
                 ready_event.set()
 
@@ -916,5 +1067,5 @@ def serve(
         pass
     finally:
         server.server_close()
-    print("repro serve: shut down", flush=True)
+    _LOG.info("repro serve: shut down")
     return 0

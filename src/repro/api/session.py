@@ -57,6 +57,8 @@ from repro.api.cache import (
 )
 from repro.api.results import CheckResult, SynthesisResult, result_from_json
 from repro.api.scenario import Scenario
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 # Everything a query can build must be imported eagerly, *not* inside the
 # build closures: a fresh serving process taking concurrent first requests
@@ -191,6 +193,7 @@ class Session:
         store: Optional[ArtefactStore] = None,
         concurrent_builds: bool = True,
         preloaded: Optional["Preloader"] = None,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -211,6 +214,51 @@ class Session:
         self._coalesced = 0
         self._preloaded_hits = 0
         self._build_seconds: Dict[str, float] = {}
+        # Process-level metrics (the global registry unless injected).
+        # Labelled by artefact kind (cache-key prefix) and lookup outcome,
+        # these are the cross-session view the serve workers expose on
+        # /metrics; the SessionStats counters above stay the per-session
+        # source of truth for /stats.
+        registry = obs_metrics.REGISTRY if metrics is None else metrics
+        self.metrics_registry = registry
+        self._m_lookups = registry.counter(
+            "repro_session_lookups_total",
+            "Session artefact-cache lookups by artefact kind and outcome "
+            "(hit, miss, store, preloaded)",
+        )
+        self._m_coalesced = registry.counter(
+            "repro_session_coalesced_total",
+            "Cache hits that waited out another thread's identical build",
+        )
+        self._m_build = registry.histogram(
+            "repro_session_build_seconds",
+            "Artefact build latency by artefact kind",
+        )
+        self._m_query = registry.histogram(
+            "repro_session_query_seconds",
+            "End-to-end session query latency by operation",
+        )
+        # Pre-bound label children for the per-query paths: a warm cache
+        # hit must pay a lock-and-add, not label sorting/stringification.
+        self._m_lookup_bound: Dict[Tuple[str, str], object] = {}
+        self._m_query_bound = {
+            op: self._m_query.labels(op=op)
+            for op in ("check", "temporal", "synthesize")
+        }
+
+    def _count_lookup(self, kind: str, outcome: str) -> None:
+        """Count one cache lookup via a cached pre-bound series.
+
+        The bound-children dict is read without the session lock: a racing
+        first call for a (kind, outcome) pair just builds the same bound
+        series twice and the later assignment wins — both increments land
+        on the same underlying series key.
+        """
+        bound = self._m_lookup_bound.get((kind, outcome))
+        if bound is None:
+            bound = self._m_lookups.labels(kind=kind, outcome=outcome)
+            self._m_lookup_bound[(kind, outcome)] = bound
+        bound.inc()
 
     # ------------------------------------------------------------------ cache
 
@@ -224,9 +272,14 @@ class Session:
             self._hits += 1
             if coalesced:
                 self._coalesced += 1
-            return True, value
+        self._count_lookup(key[0], "hit")
+        if coalesced:
+            self._m_coalesced.inc(kind=key[0])
+        return True, value
 
     def _insert(self, key: Tuple, value: object, built: bool) -> None:
+        if built:
+            self._count_lookup(key[0], "miss")
         with self._lock:
             if built:
                 self._misses += 1
@@ -247,14 +300,16 @@ class Session:
         return build()
 
     def _build_and_cache(self, key: Tuple, build: Callable[[], object]) -> object:
+        kind = key[0]
         start = time.perf_counter()
-        value = self._invoke_build(key, build)
+        with obs_trace.span(f"build.{kind}"):
+            value = self._invoke_build(key, build)
         elapsed = time.perf_counter() - start
         with self._lock:
-            kind = key[0]
             self._build_seconds[kind] = (
                 self._build_seconds.get(kind, 0.0) + elapsed
             )
+        self._m_build.observe(elapsed, kind=kind)
         self._insert(key, value, built=True)
         self._store_put(key, value)
         return value
@@ -272,6 +327,7 @@ class Session:
                     return value
                 value = self._store_get(key)
                 if value is not None:
+                    self._count_lookup(key[0], "store")
                     self._insert(key, value, built=False)
                     return value
                 return self._build_and_cache(key, build)
@@ -282,6 +338,7 @@ class Session:
                 return value
             value = self._store_get(key)
             if value is not None:
+                self._count_lookup(key[0], "store")
                 self._insert(key, value, built=False)
                 return value
             return self._build_and_cache(key, build)
@@ -389,6 +446,7 @@ class Session:
             return None
         with self._lock:
             self._preloaded_hits += 1
+        self._count_lookup(key[0], "preloaded")
         self._insert(key, value, built=False)
         return value
 
@@ -502,9 +560,13 @@ class Session:
         the protocol's decisions against ``B^N_i CB_N ∃v``.  For EBA
         scenarios it checks the EBA specification.
         """
-        task = scenario.check_task()
-        key = ("result", "check", scenario.canonical_json())
-        return self._memo(key, lambda: self._run_check(task, scenario))
+        start = time.perf_counter()
+        try:
+            task = scenario.check_task()
+            key = ("result", "check", scenario.canonical_json())
+            return self._memo(key, lambda: self._run_check(task, scenario))
+        finally:
+            self._m_query_bound["check"].observe(time.perf_counter() - start)
 
     def check_temporal(self, scenario: Scenario) -> CheckResult:
         """Model check only the purely temporal SBA specification.
@@ -520,17 +582,25 @@ class Session:
                 "temporal-only checking is defined for SBA exchanges only "
                 f"(got {scenario.exchange!r})"
             )
-        scenario = replace(scenario, optimal_protocol=False)
-        key = ("result", "temporal", scenario.canonical_json())
-        return self._memo(
-            key, lambda: self._run_check("sba-temporal-only", scenario)
-        )
+        start = time.perf_counter()
+        try:
+            scenario = replace(scenario, optimal_protocol=False)
+            key = ("result", "temporal", scenario.canonical_json())
+            return self._memo(
+                key, lambda: self._run_check("sba-temporal-only", scenario)
+            )
+        finally:
+            self._m_query_bound["temporal"].observe(time.perf_counter() - start)
 
     def synthesize(self, scenario: Scenario) -> SynthesisResult:
         """Synthesize the scenario's knowledge-based program implementation."""
-        scenario = replace(scenario, optimal_protocol=False)
-        key = ("result", "synthesize", scenario.canonical_json())
-        return self._memo(key, lambda: self._summarise_synthesis(scenario))
+        start = time.perf_counter()
+        try:
+            scenario = replace(scenario, optimal_protocol=False)
+            key = ("result", "synthesize", scenario.canonical_json())
+            return self._memo(key, lambda: self._summarise_synthesis(scenario))
+        finally:
+            self._m_query_bound["synthesize"].observe(time.perf_counter() - start)
 
     def query(self, op: str, scenario: Scenario):
         """Dispatch one query by operation name (see :data:`QUERY_OPS`)."""

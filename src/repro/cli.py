@@ -55,11 +55,13 @@ from repro.harness.tables import (
     render_csv,
     render_json,
     render_table,
+    render_timings,
     run_table,
     table1_spec,
     table2_spec,
     table3_spec,
 )
+from repro.obs import profile as obs_profile
 
 RENDERERS = {"text": render_table, "json": render_json, "csv": render_csv}
 
@@ -184,6 +186,9 @@ def _report_command(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.timings:
+        print(render_timings(result))
+        return 0
     print(_render_result(result, args.format))
     return 0
 
@@ -218,6 +223,11 @@ def _check_command(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.profile:
+        # The check runs in a forked child, which re-reads this variable on
+        # start-up — setting it here covers both the fork and, for
+        # timeout-less in-process runs, the current process.
+        os.environ[obs_profile.ENV_VAR] = "1"
     # The forked runner keeps the paper's per-run wall-clock budget
     # enforceable; the cell parameters are the scenario's canonical form.
     outcome = run_case(task, params, timeout=args.timeout)
@@ -225,6 +235,8 @@ def _check_command(args: argparse.Namespace) -> int:
     if outcome.result is not None:
         for key, value in outcome.result.items():
             print(f"  {key}: {value}")
+    if outcome.profile and outcome.profile.get("kernels"):
+        print(obs_profile.render_table(outcome.profile))
     if outcome.error:
         print(outcome.error, file=sys.stderr)
         return 1
@@ -268,6 +280,8 @@ def _serve_command(args: argparse.Namespace) -> int:
         store_max_bytes=args.store_max_bytes,
         store_max_entries=args.store_max_entries,
         preload=args.preload,
+        log_format=args.log_format,
+        log_level=args.log_level,
     )
 
 
@@ -343,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=sorted(RENDERERS), default="text",
         help="rendering of the stored table (default: text)",
     )
+    report.add_argument(
+        "--timings", action="store_true",
+        help="render per-column build/check latency percentiles (p50/p95) "
+             "from the journalled timing splits instead of the result grid",
+    )
     report.set_defaults(func=_report_command)
 
     synth = subparsers.add_parser("synthesize", help="synthesize one configuration")
@@ -370,6 +389,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--optimal", action="store_true",
                        help="check the optimal (revised) literature protocol")
     check.add_argument("--timeout", type=float, default=600.0)
+    check.add_argument(
+        "--profile", action="store_true",
+        help="time the hot kernels (bitset intersections, predecessor "
+             "images, BDD ite/and_exists) and print a per-kernel summary "
+             "table; equivalent to REPRO_PROFILE=1",
+    )
     check.set_defaults(func=_check_command)
 
     srv = subparsers.add_parser(
@@ -413,6 +438,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "the build happens once pre-fork and every worker "
                           "shares it copy-on-write, and /health reports "
                           "ready: false until it completes")
+    srv.add_argument("--log-format", choices=("text", "json"), default="text",
+                     help="diagnostic log rendering: plain text (the "
+                          "default, byte-compatible with earlier releases) "
+                          "or one JSON object per line")
+    srv.add_argument("--log-level", default="info",
+                     choices=("debug", "info", "warning", "error"),
+                     help="minimum diagnostic log level (default info; "
+                          "debug also emits per-span trace records)")
     srv.add_argument("--quiet", action="store_true",
                      help="do not log individual requests")
     srv.set_defaults(func=_serve_command)

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Sequence, Set
 
+from repro.obs import profile as obs_profile
+
 #: A packed satisfaction set: one bitmask per built time level.
 BitSat = List[int]
 
@@ -46,6 +48,7 @@ def iter_indices(bits: int) -> Iterator[int]:
         bits ^= low
 
 
+@obs_profile.kernel("bitset.blocks_within")
 def blocks_within(blocks: Iterable[int], restrict: int, target: int) -> int:
     """Union of the blocks all of whose (restricted) members lie in ``target``.
 

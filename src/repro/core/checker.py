@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.bitset import BitSat, blocks_within, to_level_sets
+from repro.obs import profile as obs_profile
 from repro.logic.formula import (
     Always,
     And,
@@ -355,6 +356,7 @@ class ModelChecker(PackedQueryMixin):
 
     # -- temporal operators ---------------------------------------------------
 
+    @obs_profile.kernel("bitset.exist_step")
     def _exist_step(self, time: int, target: int) -> int:
         """States at ``time`` with some successor inside the packed target set.
 

@@ -22,6 +22,8 @@ from typing import Dict, Optional
 
 from repro.harness import tasks as task_registry
 from repro.harness.tasks import TASKS
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.runtime.guard import WallClockExceeded, wall_clock_limit
 from repro.systems.space import SpaceBudgetExceeded
 
@@ -52,6 +54,14 @@ class CaseOutcome:
     result: Optional[Dict[str, object]] = None
     build_seconds: Optional[float] = None
     check_seconds: Optional[float] = None
+    #: The child's metrics-registry snapshot (cache lookups, build
+    #: histograms) — journalled alongside the outcome so a finished grid can
+    #: be mined for per-cell cache behaviour after the fact.  None for
+    #: timeouts, errors, in-process runs, and pre-observability journals.
+    metrics: Optional[Dict[str, object]] = None
+    #: Per-kernel profile summary when the child ran with ``REPRO_PROFILE=1``
+    #: (or ``--profile``); None otherwise.
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -79,12 +89,23 @@ def _child(task_name: str, params: Dict[str, object], pipe, preloaded=None) -> N
     # prebuilt space artefacts.
     task_registry.set_active_preloader(preloaded)
     task_registry.consume_last_timing()
+    # The fork copied the parent's already-populated registry and profiling
+    # state; this cell's snapshot must start from zero.  Profiling enablement
+    # is re-derived from the environment here for the same reason — the
+    # parent imported repro.obs.profile long before --profile set the flag.
+    obs_metrics.REGISTRY.reset()
+    obs_profile.maybe_enable_from_env()
+    obs_profile.consume_summary()
     start = time.perf_counter()
     try:
         func = TASKS[task_name]
         result = func(**params)
         timing = task_registry.consume_last_timing()
-        pipe.send(("ok", result, time.perf_counter() - start, timing))
+        observed = {
+            "metrics": obs_metrics.REGISTRY.snapshot(),
+            "profile": obs_profile.consume_summary(),
+        }
+        pipe.send(("ok", result, time.perf_counter() - start, timing, observed))
     except MemoryError:
         pipe.send(("error", "out of memory", None, None))
     except Exception:  # pragma: no cover - defensive: report, don't hang
@@ -182,16 +203,20 @@ class CaseHandle:
                 self._process.kill()
                 self._process.join()
 
-        status, payload, child_seconds, timing = (
-            "error", "worker produced no result", None, None,
+        status, payload, child_seconds, timing, observed = (
+            "error", "worker produced no result", None, None, None,
         )
         try:
             if self._pipe.poll():
                 message = self._pipe.recv()
-                # Tolerate the pre-split 3-tuple shape: a monkeypatched or
-                # stale child sending without timing is not an error.
+                # Tolerate the pre-split 3-tuple and pre-observability
+                # 4-tuple shapes: a monkeypatched or stale child sending
+                # without timing or metrics is not an error.
                 status, payload, child_seconds = message[:3]
                 timing = message[3] if len(message) > 3 else None
+                observed = message[4] if len(message) > 4 else None
+                if not isinstance(observed, dict):
+                    observed = None
         except (EOFError, OSError):  # pragma: no cover - torn-down pipe
             pass
         finally:
@@ -212,6 +237,8 @@ class CaseHandle:
                 result=payload,
                 build_seconds=timing[0] if timing else None,
                 check_seconds=timing[1] if timing else None,
+                metrics=(observed or {}).get("metrics"),
+                profile=(observed or {}).get("profile"),
             )
         elif isinstance(payload, str) and "SpaceBudgetExceeded" in payload:
             # A state-budget violation surfaces as an error; report it as TO
@@ -259,6 +286,11 @@ def run_case(
         previous_preloader = task_registry._ACTIVE_PRELOADER
         task_registry.set_active_preloader(preloaded)
         task_registry.consume_last_timing()
+        # In-process runs share the process registry with everything else in
+        # the process (benchmarks, earlier cells), so no per-cell metrics
+        # snapshot is attached; the profile is still collected per call.
+        obs_profile.maybe_enable_from_env()
+        obs_profile.consume_summary()
         start = time.perf_counter()
         try:
             with wall_clock_limit(timeout, label=f"task {task!r}"):
@@ -289,6 +321,7 @@ def run_case(
             result=result,
             build_seconds=timing[0] if timing else None,
             check_seconds=timing[1] if timing else None,
+            profile=obs_profile.consume_summary(),
         )
 
     handle = CaseHandle(

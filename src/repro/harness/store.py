@@ -64,14 +64,17 @@ def outcome_to_record(outcome: CaseOutcome) -> Dict[str, object]:
         "result": outcome.result,
         "build_seconds": outcome.build_seconds,
         "check_seconds": outcome.check_seconds,
+        "metrics": outcome.metrics,
+        "profile": outcome.profile,
     }
 
 
 def outcome_from_record(record: Dict[str, object]) -> CaseOutcome:
     """Rebuild an outcome from its JSON journal record.
 
-    The timing-split keys are read with ``.get`` so journals written before
-    the build/check split load unchanged (the split reads back as None).
+    The timing-split and observability keys are read with ``.get`` so
+    journals written before those fields existed load unchanged (they read
+    back as None).
     """
     return CaseOutcome(
         task=record["task"],
@@ -82,6 +85,8 @@ def outcome_from_record(record: Dict[str, object]) -> CaseOutcome:
         result=record.get("result"),
         build_seconds=record.get("build_seconds"),
         check_seconds=record.get("check_seconds"),
+        metrics=record.get("metrics"),
+        profile=record.get("profile"),
     )
 
 

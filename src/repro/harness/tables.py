@@ -490,6 +490,69 @@ def render_csv(result: TableResult) -> str:
     return buffer.getvalue()
 
 
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * fraction
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def render_timings(result: TableResult) -> str:
+    """Render the ``report --timings`` view: build/check latency per column.
+
+    One row per grid column with the p50/p95/max of the build and check
+    seconds across that column's completed cells, plus a closing ``all``
+    row over every cell — the at-a-glance answer to "which task is slow,
+    and is it the space build or the satisfaction pass".  Cells without a
+    recorded split (timeouts, errors, pre-split journals) are counted but
+    excluded from the distributions.
+    """
+    spec = result.spec
+    columns = spec.columns()
+    per_column: Dict[str, List[Tuple[float, float]]] = {
+        column: [] for column in columns
+    }
+    unreported = 0
+    for (_, column), outcome in result.outcomes.items():
+        if outcome.build_seconds is None or outcome.check_seconds is None:
+            unreported += 1
+            continue
+        per_column.setdefault(column, []).append(
+            (outcome.build_seconds, outcome.check_seconds)
+        )
+
+    def _row(label: str, samples: List[Tuple[float, float]]) -> List[str]:
+        builds = sorted(sample[0] for sample in samples)
+        checks = sorted(sample[1] for sample in samples)
+        total = sum(builds) + sum(checks)
+        return [
+            label,
+            str(len(samples)),
+            f"{_percentile(builds, 0.5):.3f}",
+            f"{_percentile(builds, 0.95):.3f}",
+            f"{_percentile(checks, 0.5):.3f}",
+            f"{_percentile(checks, 0.95):.3f}",
+            f"{max(checks, default=0.0):.3f}",
+            f"{total:.3f}",
+        ]
+
+    header = ["column", "cells", "build_p50", "build_p95",
+              "check_p50", "check_p95", "check_max", "total_s"]
+    body = [_row(column, per_column.get(column, [])) for column in columns]
+    everything = [sample for samples in per_column.values()
+                  for sample in samples]
+    body.append(_row("all", everything))
+    title = f"Timings — {spec.title} (seconds, percentiles across cells)"
+    rendered = _render_grid(title, header, body)
+    if unreported:
+        rendered += (f"\n({unreported} cell(s) without a timing split: "
+                     f"timeouts, errors, or pre-split journals)")
+    return rendered
+
+
 # ---------------------------------------------------------------------------
 # The paper's tables
 # ---------------------------------------------------------------------------

@@ -1,0 +1,116 @@
+"""Logging setup shared by the CLI and the service.
+
+``setup("text")`` (the default) reproduces the byte-exact output of the
+``print`` calls it replaced: informational records go to stdout and
+warnings/errors to stderr as bare ``%(message)s`` lines, flushed per
+record — the serve banner stays machine-parseable and existing tests and
+scripts that read it keep working.
+
+``setup("json")`` switches both streams to one-JSON-object-per-line
+records carrying timestamp, level, logger name, message, and the active
+trace ID (when a request trace is open), which makes multi-worker logs
+mergeable and greppable by trace.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional
+
+from repro.obs import trace
+
+__all__ = ["setup", "get_logger", "active_format", "JsonFormatter"]
+
+#: Logger namespace the handlers are attached to.
+ROOT = "repro"
+
+#: The format most recently configured by :func:`setup`.
+_ACTIVE_FORMAT = "text"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; includes the active trace ID if any."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        data = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            data["trace_id"] = trace_id
+        if record.exc_info:
+            data["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(data, sort_keys=True)
+
+
+class _MaxLevelFilter(logging.Filter):
+    def __init__(self, max_level: int) -> None:
+        super().__init__()
+        self.max_level = max_level
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno <= self.max_level
+
+
+def setup(log_format: str = "text", level: str = "info",
+          logger_name: str = ROOT) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Informational records (<= INFO) go to stdout, warnings and above to
+    stderr, matching the stream split of the ``print`` diagnostics this
+    replaced.  Repeat calls reconfigure (handlers installed by a previous
+    ``setup`` are replaced), so tests and long-lived processes can switch
+    format or level safely.
+    """
+    global _ACTIVE_FORMAT
+    if log_format not in ("text", "json"):
+        raise ValueError(f"unknown log format: {log_format!r}")
+    _ACTIVE_FORMAT = log_format
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(_LEVELS.get(level.lower(), logging.INFO))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+
+    if log_format == "json":
+        formatter: logging.Formatter = JsonFormatter()
+    else:
+        formatter = logging.Formatter("%(message)s")
+
+    out = logging.StreamHandler(sys.stdout)
+    out.addFilter(_MaxLevelFilter(logging.INFO))
+    err = logging.StreamHandler(sys.stderr)
+    err.setLevel(logging.WARNING)
+    for handler in (out, err):
+        handler.setFormatter(formatter)
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    return logger
+
+
+def active_format() -> str:
+    """The format most recently configured by :func:`setup`.
+
+    Lets callers that normally bypass logging for byte-compatibility
+    (e.g. the HTTP access log) detect JSON mode, where every line on the
+    diagnostic streams must be a JSON record.
+    """
+    return _ACTIVE_FORMAT
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``repro`` itself if None)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)

@@ -1,0 +1,128 @@
+"""Request-scoped trace IDs and nested spans.
+
+A trace is opened per HTTP request (or per CLI invocation when desired):
+the ID is honoured from an incoming ``X-Repro-Trace-Id`` header when it is
+well-formed, generated otherwise, and echoed back in the response.  The ID
+is contextvar-propagated so every span recorded on the same thread of
+execution — session queries, artefact builds, kernel stages — carries it
+without plumbing arguments through the stack.
+
+Spans nest: each ``with span("build.space"):`` block records its parent
+span's name and emits one structured JSON log record on the
+``repro.trace`` logger at DEBUG when it closes.  With no active trace the
+span contextmanager is a near-no-op (one contextvar read), so library
+code can be instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import re
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "HEADER",
+    "begin",
+    "current_trace_id",
+    "end",
+    "new_trace_id",
+    "request_trace",
+    "span",
+]
+
+#: Header used to propagate trace IDs across the HTTP boundary.
+HEADER = "X-Repro-Trace-Id"
+
+#: Accepted shape for externally supplied trace IDs.
+_VALID_ID = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+_LOG = logging.getLogger("repro.trace")
+
+
+class _TraceState:
+    __slots__ = ("trace_id", "stack")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.stack: List[str] = []
+
+
+_TRACE: contextvars.ContextVar[Optional[_TraceState]] = contextvars.ContextVar(
+    "repro_trace", default=None)
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def current_trace_id() -> Optional[str]:
+    state = _TRACE.get()
+    return state.trace_id if state is not None else None
+
+
+def begin(incoming: Optional[str] = None) -> Tuple[contextvars.Token, str]:
+    """Open a trace, honouring a well-formed incoming ID.
+
+    Returns the reset token and the effective trace ID.  Malformed or
+    missing incoming IDs get a fresh one (never trust the wire).
+    """
+    if incoming and _VALID_ID.match(incoming):
+        trace_id = incoming
+    else:
+        trace_id = new_trace_id()
+    token = _TRACE.set(_TraceState(trace_id))
+    return token, trace_id
+
+
+def end(token: contextvars.Token) -> None:
+    _TRACE.reset(token)
+
+
+@contextmanager
+def request_trace(incoming: Optional[str] = None) -> Iterator[str]:
+    """Contextmanager form of :func:`begin`/:func:`end`."""
+    token, trace_id = begin(incoming)
+    try:
+        yield trace_id
+    finally:
+        end(token)
+
+
+@contextmanager
+def span(name: str, **fields: object) -> Iterator[None]:
+    """Record one nested span; no-op outside an active trace."""
+    state = _TRACE.get()
+    if state is None:
+        yield
+        return
+    parent = state.stack[-1] if state.stack else None
+    state.stack.append(name)
+    start = time.perf_counter()
+    error: Optional[str] = None
+    try:
+        yield
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        elapsed = time.perf_counter() - start
+        state.stack.pop()
+        if _LOG.isEnabledFor(logging.DEBUG):
+            record = {
+                "event": "span",
+                "trace_id": state.trace_id,
+                "span": name,
+                "parent": parent,
+                "seconds": round(elapsed, 6),
+            }
+            if error is not None:
+                record["error"] = error
+            if fields:
+                record["fields"] = {key: str(value)
+                                    for key, value in fields.items()}
+            _LOG.debug("%s", json.dumps(record, sort_keys=True))

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from repro.obs import profile as obs_profile
+
 #: Sentinel variable index for the terminal nodes: larger than any real
 #: variable, so ``min`` over node variables never selects a terminal.
 _TERMINAL_VAR = 1 << 60
@@ -131,8 +133,17 @@ class BDD:
 
     # ----------------------------------------------------------- connectives
 
+    @obs_profile.kernel("bdd.ite")
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``(f and g) or (not f and h)``."""
+        """If-then-else: ``(f and g) or (not f and h)``.
+
+        The profiled entry point (``REPRO_PROFILE=1`` times top-level calls
+        only — the recursion goes through :meth:`_ite` directly, so one row
+        in the kernel table is one caller-visible operation, not one node).
+        """
+        return self._ite(f, g, h)
+
+    def _ite(self, f: int, g: int, h: int) -> int:
         if f == TRUE:
             return g
         if f == FALSE:
@@ -149,7 +160,7 @@ class BDD:
         f0, f1 = self._cofactors(f, top)
         g0, g1 = self._cofactors(g, top)
         h0, h1 = self._cofactors(h, top)
-        result = self.node(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        result = self.node(top, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
         self._ite_cache[key] = result
         return result
 
@@ -265,6 +276,7 @@ class BDD:
 
         return walk(f)
 
+    @obs_profile.kernel("bdd.and_exists")
     def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
         """The relational product ``exists variables . (f and g)``, fused.
 

@@ -106,6 +106,35 @@ def test_prefork_lifecycle(tmp_path):
         assert aggregate["hits"] == sum(view["hits"] for view in per_worker)
         assert aggregate["misses"] == sum(view["misses"] for view in per_worker)
 
+        # --- /metrics aggregates every worker's series --------------------
+        # Any worker answers for the whole front: each publishes its
+        # registry snapshot next to its stats record, and the scraped
+        # worker renders all of them under per-worker labels.  Counters
+        # are published just after the response bytes go out, so poll
+        # until the last barrage request's bump lands.
+        check_series = re.compile(
+            r'repro_http_requests_total\{endpoint="/check",method="POST",'
+            r'status="200",worker="(worker-\d+)"\} (\d+)')
+        sent = len(responses)
+        deadline = time.time() + 30
+        while True:
+            request = urllib.request.Request(url + "/metrics")
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith("text/plain")
+                text = response.read().decode()
+            counted = {worker: int(count)
+                       for worker, count in check_series.findall(text)}
+            if sum(counted.values()) >= sent or time.time() > deadline:
+                break
+            time.sleep(0.2)
+        # Both forked workers publish: their labels appear even if the
+        # barrage landed unevenly across the shared accept socket.
+        worker_labels = set(re.findall(r'worker="(worker-\d+)"', text))
+        assert worker_labels == {"worker-0", "worker-1"}, text[:2000]
+        # Aggregate across the worker label == requests this test sent.
+        assert sum(counted.values()) == sent, counted
+
         # --- a killed worker is restarted under a new pid -----------------
         os.kill(pids["worker-0"], signal.SIGKILL)
         deadline = time.time() + 60

@@ -104,6 +104,89 @@ class TestEndpoints:
         assert set(body["cache"]) >= {"hits", "misses", "entries", "max_entries"}
 
 
+class TestObservability:
+    def test_health_reports_uptime_and_versions(self, server_url):
+        from repro.version import __version__
+
+        status, body = _get(server_url + "/health")
+        assert status == 200
+        assert body["version"] == __version__
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert body["started_at"] > 0
+        assert body["uptime_seconds"] >= 0
+
+    def test_metrics_exposition_covers_http_and_session(self, server_url):
+        import time
+
+        # Drive one request of each kind so every series has a sample.
+        _post(server_url + "/check", {"scenario": SCENARIO})
+        _get(server_url + "/stats")
+        # Counters are bumped *after* the response bytes go out, so an
+        # immediate scrape can race the handler's bookkeeping by a few
+        # microseconds: poll briefly, as a real scraper's interval would.
+        wanted = 'repro_http_requests_total{endpoint="/check",method="POST",status="200"}'
+        deadline = time.time() + 5
+        while True:
+            with urllib.request.urlopen(server_url + "/metrics", timeout=30) as response:
+                assert response.status == 200
+                content_type = response.headers["Content-Type"]
+                text = response.read().decode()
+            if wanted in text or time.time() > deadline:
+                break
+            time.sleep(0.05)
+        # A scrape only counts itself on the *next* scrape (the counter is
+        # bumped after the exposition is rendered); fetch once more so the
+        # /metrics endpoint's own series is visible too.
+        time.sleep(0.1)
+        with urllib.request.urlopen(server_url + "/metrics", timeout=30) as response:
+            text = response.read().decode()
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{endpoint="/check",method="POST",status="200"}' in text
+        assert 'repro_http_requests_total{endpoint="/metrics",method="GET",status="200"}' in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'repro_http_request_seconds_bucket' in text
+        # Session cache tiers: the repeat /check above hits, the first missed.
+        assert 'repro_session_lookups_total{kind="result",outcome="hit"}' in text
+        assert 'repro_session_lookups_total{kind="result",outcome="miss"}' in text
+        assert "repro_session_build_seconds_count" in text
+        assert "repro_process_start_time_seconds" in text
+        assert "repro_session_cache_entries" in text
+
+    def test_unknown_paths_fold_into_one_endpoint_label(self, server_url):
+        import time
+
+        _post(server_url + "/minimise", {"scenario": SCENARIO})
+        deadline = time.time() + 5
+        while True:
+            with urllib.request.urlopen(server_url + "/metrics", timeout=30) as response:
+                text = response.read().decode()
+            if 'endpoint="other"' in text or time.time() > deadline:
+                break
+            time.sleep(0.05)
+        assert 'endpoint="other"' in text
+        assert "/minimise" not in text
+
+    def test_trace_id_is_echoed_when_sent(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/check",
+            data=json.dumps({"scenario": SCENARIO}).encode(),
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Trace-Id": "trace-me-42"},
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            assert response.headers["X-Repro-Trace-Id"] == "trace-me-42"
+
+    def test_trace_id_is_generated_when_absent_or_malformed(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/health",
+            headers={"X-Repro-Trace-Id": "not valid !!"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            echoed = response.headers["X-Repro-Trace-Id"]
+        assert echoed and echoed != "not valid !!"
+
+
 class TestErrors:
     def test_invalid_scenario_is_a_400(self, server_url):
         status, body = _post(server_url + "/check",
