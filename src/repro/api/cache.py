@@ -101,7 +101,8 @@ class KeyedLocks:
 
     def __init__(self) -> None:
         self._registry_lock = threading.Lock()
-        self._entries: Dict[object, List] = {}  # key -> [lock, refcount]
+        # key -> [lock, refcount]
+        self._entries: Dict[object, List] = {}  # guarded by: _registry_lock
 
     @contextmanager
     def holding(self, key: object) -> Iterator[None]:
@@ -146,8 +147,11 @@ class WeightedLRU:
             raise ValueError(f"max_weight must be >= 1, got {max_weight}")
         self.max_entries = max_entries
         self.max_weight = max_weight
-        self._entries: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()
-        self.total_weight = 0
+        # The guard is external: Session owns the lock, so the declaration
+        # below is documentation (LOCK01 only enforces locks the class
+        # itself holds; see the class docstring).
+        self._entries: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()  # guarded by: Session._lock
+        self.total_weight = 0  # guarded by: Session._lock
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -24,7 +24,7 @@ before the redesign and the ones written after it stay interchangeable.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 #: The current result-schema version.  Bump when a field changes meaning or
 #: shape; ``from_json`` refuses anything else.
@@ -234,7 +234,9 @@ _RESULT_TYPES = {
 }
 
 
-def result_from_json(data: Mapping[str, object]):
+def result_from_json(
+    data: Mapping[str, object],
+) -> "Union[CheckResult, SynthesisResult, TableCell]":
     """Rebuild any typed result from its :meth:`to_json` form.
 
     Dispatches on the ``type`` tag; refuses missing/unknown schema versions
@@ -242,7 +244,7 @@ def result_from_json(data: Mapping[str, object]):
     ``ValueError``.
     """
     tag = data.get("type")
-    if tag not in _RESULT_TYPES:
+    if not isinstance(tag, str) or tag not in _RESULT_TYPES:
         raise ValueError(
             f"unknown result type {tag!r} (known: {sorted(_RESULT_TYPES)})"
         )

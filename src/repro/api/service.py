@@ -69,6 +69,7 @@ import logging
 import os
 import signal
 import socket
+import tempfile
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -465,8 +466,8 @@ class ReproServer(ThreadingHTTPServer):
         #: Set once a background --preload completes; None = nothing to wait
         #: for (the server was born ready).
         self.ready_event = ready_event
-        self._active_requests = 0
-        self._active_connections = 0
+        self._active_requests = 0  # guarded by: _active_lock
+        self._active_connections = 0  # guarded by: _active_lock
         self._active_lock = threading.Lock()
 
     @property
@@ -782,8 +783,11 @@ def _run_worker(
 
     def _shut_down(signum, frame):  # noqa: ARG001 - signal handler shape
         # shutdown() blocks until serve_forever() exits, and *this* thread
-        # is inside serve_forever — hand the call to a helper thread.
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        # is inside serve_forever — hand the call to a helper thread.  The
+        # Thread construction is allocator-heavy for a signal handler, but
+        # it is the socketserver-documented shutdown-from-handler shape and
+        # runs once, at process exit.
+        threading.Thread(target=server.shutdown, daemon=True).start()  # lint: disable=FORK01
 
     signal.signal(signal.SIGTERM, _shut_down)
     signal.signal(signal.SIGINT, _shut_down)
@@ -851,8 +855,6 @@ def _serve_prefork(
     if store_dir is not None:
         stats_root = Path(store_dir) / _STATS_DIR_NAME
     else:
-        import tempfile
-
         stats_root = Path(tempfile.mkdtemp(prefix="repro-serve-stats-"))
     stats_root.mkdir(parents=True, exist_ok=True)
 

@@ -205,15 +205,15 @@ class Session:
         self.max_weight_bytes = max_weight_bytes
         self._lock = threading.RLock()  # bookkeeping only: cache + counters
         self._build_locks = KeyedLocks()
-        self._cache = WeightedLRU(max_entries, max_weight_bytes)
+        self._cache = WeightedLRU(max_entries, max_weight_bytes)  # guarded by: _lock
         self._store = store
         self._concurrent_builds = concurrent_builds
         self._preloaded = preloaded
-        self._hits = 0
-        self._misses = 0
-        self._coalesced = 0
-        self._preloaded_hits = 0
-        self._build_seconds: Dict[str, float] = {}
+        self._hits = 0  # guarded by: _lock
+        self._misses = 0  # guarded by: _lock
+        self._coalesced = 0  # guarded by: _lock
+        self._preloaded_hits = 0  # guarded by: _lock
+        self._build_seconds: Dict[str, float] = {}  # guarded by: _lock
         # Process-level metrics (the global registry unless injected).
         # Labelled by artefact kind (cache-key prefix) and lookup outcome,
         # these are the cross-session view the serve workers expose on

@@ -16,6 +16,9 @@ Examples::
     python -m repro serve --workers 4 --store /var/cache/repro --store-max-bytes 268435456
     python -m repro store stats /var/cache/repro
     python -m repro store compact /var/cache/repro --max-entries 1000
+    python -m repro lint
+    python -m repro lint --rule DET01 --format json
+    python -m repro lint --baseline lint-baseline.json --fail-on finding
 
 Every command goes through the :mod:`repro.api` facade: ``check`` and
 ``synthesize`` construct a validated :class:`~repro.api.Scenario`, the table
@@ -44,6 +47,7 @@ from typing import Optional, Sequence
 
 from repro.api import Scenario, Session
 from repro.api.service import DEFAULT_HOST, DEFAULT_PORT, serve
+from repro.devtools.rules import RULE_CODES
 from repro.engines import DEFAULT_ENGINE, ENGINES
 from repro.failures import FAILURE_MODELS
 from repro.harness.runner import run_case
@@ -314,6 +318,58 @@ def _store_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.devtools import (
+        Baseline,
+        LintEngine,
+        render_json as render_lint_json,
+        render_text as render_lint_text,
+        rules_for,
+    )
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"no such path: {missing[0]}", file=sys.stderr)
+            return 2
+        rel_to: Optional[Path] = Path.cwd()
+    else:
+        # Default target: the installed repro package itself, reported
+        # relative to its parent so findings read "repro/api/service.py".
+        package_root = Path(repro.__file__).resolve().parent
+        paths = [package_root]
+        rel_to = package_root.parent
+
+    baseline = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"no baseline file at {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    engine = LintEngine(rules_for(args.rules or None), baseline=baseline)
+    report = engine.run(paths, rel_to=rel_to)
+    renderer = render_lint_json if args.format == "json" else render_lint_text
+    print(renderer(report))
+
+    if args.fail_on == "never":
+        return 0
+    if report.findings and args.fail_on == "finding":
+        return 2
+    if report.errors:
+        return 2
+    return 0
+
+
 def _add_failures_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--failures", choices=FAILURE_MODELS, default=None,
@@ -470,6 +526,40 @@ def build_parser() -> argparse.ArgumentParser:
     store_compact.add_argument("--max-entries", type=int, default=None,
                                metavar="N", help="entry bound to compact to")
     store_compact.set_defaults(func=_store_command)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-native static analysis rules "
+             "(determinism, locking, fork/signal, fd lifecycle, imports)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed "
+             "repro package source)",
+    )
+    lint.add_argument(
+        "--rule", action="append", dest="rules", choices=RULE_CODES,
+        metavar="CODE",
+        help="run only this rule (repeatable; default: all of "
+             f"{', '.join(RULE_CODES)})",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings; matching findings "
+             "are suppressed (every entry needs a justification)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report rendering (json output carries a schema_version "
+             "field like the results schema)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("finding", "error", "never"),
+        default="finding",
+        help="exit 2 on findings (default), only on engine errors, or "
+             "never",
+    )
+    lint.set_defaults(func=_lint_command)
 
     return parser
 

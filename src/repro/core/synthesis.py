@@ -33,6 +33,12 @@ from repro.engines import DEFAULT_ENGINE, check_bits, checker_for, validate_engi
 from repro.logic.atoms import decides_now, init_is, some_decided_value
 from repro.logic.builders import big_or, common_belief_exists, neg
 from repro.logic.formula import EvEventually, Knows, Or
+from repro.symbolic.checker import (
+    SymbolicChecker,
+    eba_decide_zero_conditions,
+    sba_level_conditions,
+)
+from repro.symbolic.encode import SpaceEncoder
 from repro.systems.actions import Action, JointAction, NOOP
 from repro.systems.model import BAModel
 from repro.systems.space import LevelledSpace
@@ -164,9 +170,6 @@ def sba_condition_evaluator(
     if engine == "bitset":
         return lambda level: _level_knowledge_conditions(space, level)
     if engine == "symbolic":
-        from repro.symbolic.checker import sba_level_conditions
-        from repro.symbolic.encode import SpaceEncoder
-
         if encoder is None:
             encoder = SpaceEncoder(space)
         elif encoder.space is not space:
@@ -326,8 +329,6 @@ class EBAZeroConditionEvaluator:
         self._encoder = None
         self._set_checker = None
         if engine == "symbolic":
-            from repro.symbolic.encode import SpaceEncoder
-
             self._encoder = SpaceEncoder(space)
 
     def mark_complete(self) -> None:
@@ -343,8 +344,6 @@ class EBAZeroConditionEvaluator:
         if self.engine == "bitset":
             return _decide_zero_conditions_at_level(self.space, level)
         if self.engine == "symbolic":
-            from repro.symbolic.checker import eba_decide_zero_conditions
-
             return eba_decide_zero_conditions(self._encoder, level)
         if self.growing:
             checker = checker_for(self.space, "set")
@@ -364,8 +363,6 @@ class EBAZeroConditionEvaluator:
     def make_checker(self):
         """A whole-space checker for this engine, sharing any encoder state."""
         if self._encoder is not None:
-            from repro.symbolic.checker import SymbolicChecker
-
             return SymbolicChecker(self.space, self._encoder)
         return checker_for(self.space, self.engine)
 

@@ -1,0 +1,50 @@
+"""Project-native static analysis for the repro codebase.
+
+The devtools package hosts ``repro lint``: an AST-based engine plus a
+pluggable registry of rules that mechanise the invariants this repo has
+historically broken by hand — hash-seed-dependent rendering (DET01),
+lock discipline (LOCK01), fork/thread/signal ordering (FORK01), file
+descriptor lifecycles (RES01), and lazy-import races (IMP01).
+
+The registry mirrors :mod:`repro.engines`: rule codes are strings,
+``validate_rule`` normalises them, and ``rule_for`` instantiates the
+checker.  ``LintEngine`` walks a source tree, applies the selected
+rules, filters per-line ``# lint: disable=RULE`` pragmas and baseline
+entries, and renders text or schema-versioned JSON reports.
+"""
+
+from repro.devtools.engine import (
+    SCHEMA_VERSION,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LintEngine,
+    LintError,
+    LintReport,
+    ModuleUnderLint,
+    check_source,
+    render_json,
+    render_text,
+    report_from_json,
+)
+from repro.devtools.rules import RULE_CODES, all_rules, rule_for, rules_for, validate_rule
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintEngine",
+    "LintError",
+    "LintReport",
+    "ModuleUnderLint",
+    "RULE_CODES",
+    "all_rules",
+    "check_source",
+    "render_json",
+    "render_text",
+    "report_from_json",
+    "rule_for",
+    "rules_for",
+    "validate_rule",
+]

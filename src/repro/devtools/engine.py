@@ -1,0 +1,360 @@
+"""The lint engine: file walking, suppression, and report rendering.
+
+Suppression happens in two layers, mirroring how the repo's own
+invariants are managed:
+
+* a per-line pragma ``# lint: disable=RULE[,RULE]`` silences a finding at
+  the line that carries it — used for deliberate, commented violations
+  (e.g. the SIGTERM handler's shutdown thread in ``api/service.py``);
+* a committed baseline file grandfathers findings by
+  ``(rule, path, context)`` identity so line drift does not churn it —
+  each entry must carry a justification, and the self-check test keeps
+  the shipped tree at "baseline empty or justified".
+
+JSON output is schema-versioned exactly like :mod:`repro.api.results`:
+``schema_version`` is embedded in every report and
+:func:`report_from_json` refuses payloads from a different schema with
+:class:`repro.api.results.SchemaVersionError`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.results import SchemaVersionError
+from repro.devtools.scopes import build_parents, enclosing_context
+
+SCHEMA_VERSION = 1
+_TOOL_NAME = "repro-lint"
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``context`` is the dotted qualname of the enclosing class/function;
+    together with ``rule`` and ``path`` it forms the stable identity used
+    for baseline matching (line numbers drift, qualnames rarely do).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    context: str = ""
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the engine could not parse or a rule crash, kept non-fatal."""
+
+    path: str
+    message: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {"path": self.path, "message": self.message}
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    justification: str
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+
+class Baseline:
+    """Grandfathered findings loaded from a committed JSON file."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._index: Set[Tuple[str, str, str]] = {e.identity for e in entries}
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.identity in self._index
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(f"baseline {path} must be a JSON object")
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"baseline {path} has schema_version={version!r}; "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        entries: List[BaselineEntry] = []
+        raw_entries = payload.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"baseline {path}: 'entries' must be a list")
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise ValueError(f"baseline {path}: entries must be objects")
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise ValueError(
+                    f"baseline {path}: every entry needs a non-empty "
+                    f"justification (offending entry: {raw!r})"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    context=str(raw.get("context", "")),
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+
+@dataclass
+class LintReport:
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[LintError] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: Tuple[str, ...] = ()
+    suppressed_pragma: int = 0
+    suppressed_baseline: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tool": _TOOL_NAME,
+            "rules": list(self.rules),
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_json() for f in self.findings],
+            "errors": [e.to_json() for e in self.errors],
+            "suppressed": {
+                "pragma": self.suppressed_pragma,
+                "baseline": self.suppressed_baseline,
+            },
+        }
+
+
+def report_from_json(payload: Dict[str, object]) -> LintReport:
+    """Rehydrate a report, dispatching on ``schema_version``.
+
+    Mirrors ``repro.api.results.result_from_json``: unknown versions are a
+    hard error so CI artefacts are never silently misread.
+    """
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"lint report has schema_version={version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    findings_raw = payload.get("findings", [])
+    errors_raw = payload.get("errors", [])
+    suppressed = payload.get("suppressed", {})
+    if not isinstance(findings_raw, list) or not isinstance(errors_raw, list):
+        raise ValueError("lint report: 'findings' and 'errors' must be lists")
+    if not isinstance(suppressed, dict):
+        raise ValueError("lint report: 'suppressed' must be an object")
+    rules_raw = payload.get("rules", [])
+    rules = tuple(str(r) for r in rules_raw) if isinstance(rules_raw, list) else ()
+    return LintReport(
+        findings=[
+            Finding(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                line=int(str(raw["line"])),
+                col=int(str(raw["col"])),
+                message=str(raw["message"]),
+                context=str(raw.get("context", "")),
+            )
+            for raw in findings_raw
+        ],
+        errors=[
+            LintError(path=str(raw["path"]), message=str(raw["message"]))
+            for raw in errors_raw
+        ],
+        files_scanned=int(str(payload.get("files_scanned", 0))),
+        rules=rules,
+        suppressed_pragma=int(str(suppressed.get("pragma", 0))),
+        suppressed_baseline=int(str(suppressed.get("baseline", 0))),
+    )
+
+
+@dataclass
+class ModuleUnderLint:
+    """One parsed source file plus the precomputed maps rules share."""
+
+    path: Path
+    rel_path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    parents: Dict[ast.AST, ast.AST]
+
+    @classmethod
+    def load(cls, path: Path, rel_path: str) -> "ModuleUnderLint":
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, path=path, rel_path=rel_path)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path = Path("<memory>"), rel_path: str = "<memory>"
+    ) -> "ModuleUnderLint":
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            rel_path=rel_path,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+            parents=build_parents(tree),
+        )
+
+    def context_of(self, node: ast.AST) -> str:
+        return enclosing_context(node, self.parents)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def _pragma_codes(line: str) -> Set[str]:
+    match = _PRAGMA_RE.search(line)
+    if match is None:
+        return set()
+    return {code.strip() for code in match.group(1).split(",") if code.strip()}
+
+
+class LintEngine:
+    """Runs a rule suite over a set of files and applies suppression."""
+
+    def __init__(
+        self,
+        rules: Sequence[object],
+        baseline: Optional[Baseline] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    @staticmethod
+    def discover(paths: Sequence[Path]) -> List[Path]:
+        files: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        return files
+
+    def run(
+        self, paths: Sequence[Path], rel_to: Optional[Path] = None
+    ) -> LintReport:
+        report = LintReport(
+            rules=tuple(sorted(str(getattr(r, "code", r)) for r in self.rules))
+        )
+        for file_path in self.discover(paths):
+            rel_path = _relativise(file_path, rel_to)
+            try:
+                module = ModuleUnderLint.load(file_path, rel_path)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                report.errors.append(LintError(path=rel_path, message=str(exc)))
+                continue
+            report.files_scanned += 1
+            self._check_module(module, report)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    def check_module(self, module: ModuleUnderLint) -> LintReport:
+        report = LintReport(
+            rules=tuple(sorted(str(getattr(r, "code", r)) for r in self.rules)),
+            files_scanned=1,
+        )
+        self._check_module(module, report)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    def _check_module(self, module: ModuleUnderLint, report: LintReport) -> None:
+        for rule in self.rules:
+            code = str(getattr(rule, "code", rule))
+            try:
+                findings = list(rule.check(module))  # type: ignore[attr-defined]
+            except Exception as exc:  # rule crash stays non-fatal
+                report.errors.append(
+                    LintError(
+                        path=module.rel_path,
+                        message=f"rule {code} crashed: {exc!r}",
+                    )
+                )
+                continue
+            for finding in findings:
+                if finding.rule in _pragma_codes(module.line_text(finding.line)):
+                    report.suppressed_pragma += 1
+                elif self.baseline.matches(finding):
+                    report.suppressed_baseline += 1
+                else:
+                    report.findings.append(finding)
+
+
+def _relativise(path: Path, rel_to: Optional[Path]) -> str:
+    resolved = path.resolve()
+    if rel_to is not None:
+        try:
+            return resolved.relative_to(rel_to.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def check_source(
+    source: str,
+    rules: Sequence[object],
+    rel_path: str = "repro/fixture.py",
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint an in-memory snippet — the unit-test entry point."""
+    engine = LintEngine(rules, baseline=baseline)
+    module = ModuleUnderLint.from_source(source, rel_path=rel_path)
+    return engine.check_module(module)
+
+
+def render_text(report: LintReport) -> str:
+    out: List[str] = []
+    for finding in report.findings:
+        out.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.message}"
+        )
+    for error in report.errors:
+        out.append(f"{error.path}: error: {error.message}")
+    suppressed = report.suppressed_pragma + report.suppressed_baseline
+    out.append(
+        f"{len(report.findings)} finding(s), {len(report.errors)} error(s), "
+        f"{suppressed} suppressed across {report.files_scanned} file(s)"
+    )
+    return "\n".join(out)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

@@ -1,0 +1,69 @@
+"""Rule registry for ``repro lint``, mirroring :mod:`repro.engines`.
+
+Engines are selected by name, validated, then instantiated via
+``checker_for``; rules follow the same contract: :data:`RULE_CODES` is
+the canonical tuple, :func:`validate_rule` normalises a user-supplied
+code, and :func:`rule_for` builds the checker instance.  Adding a rule
+is one module in this package plus one entry in :data:`_RULE_TYPES`.
+
+Every rule exposes ``code``, ``title`` and
+``check(module: ModuleUnderLint) -> Iterator[Finding]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.devtools.rules.det01 import Det01
+from repro.devtools.rules.fork01 import Fork01
+from repro.devtools.rules.imp01 import Imp01
+from repro.devtools.rules.lock01 import Lock01
+from repro.devtools.rules.res01 import Res01
+
+_RULE_TYPES: Dict[str, Type[object]] = {
+    Det01.code: Det01,
+    Fork01.code: Fork01,
+    Imp01.code: Imp01,
+    Lock01.code: Lock01,
+    Res01.code: Res01,
+}
+
+RULE_CODES: Tuple[str, ...] = tuple(sorted(_RULE_TYPES))
+
+
+def validate_rule(code: str) -> str:
+    """Normalise a rule code, raising ``ValueError`` for unknown ones."""
+    normalised = code.strip().upper()
+    if normalised not in _RULE_TYPES:
+        options = ", ".join(RULE_CODES)
+        raise ValueError(f"unknown lint rule {code!r} (choose from: {options})")
+    return normalised
+
+
+def rule_for(code: str) -> object:
+    """Instantiate the checker registered under ``code``."""
+    return _RULE_TYPES[validate_rule(code)]()
+
+
+def rules_for(codes: Optional[Iterable[str]] = None) -> List[object]:
+    """Instantiate the requested rules, or the full suite when ``None``."""
+    selected = RULE_CODES if codes is None else tuple(codes)
+    return [rule_for(code) for code in selected]
+
+
+def all_rules() -> List[object]:
+    return rules_for(None)
+
+
+__all__ = [
+    "Det01",
+    "Fork01",
+    "Imp01",
+    "Lock01",
+    "Res01",
+    "RULE_CODES",
+    "all_rules",
+    "rule_for",
+    "rules_for",
+    "validate_rule",
+]

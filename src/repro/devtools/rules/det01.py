@@ -1,0 +1,166 @@
+"""DET01 — hash-seed-dependent iteration on rendering/key paths.
+
+The PR 5 bug class: ``describe()`` once iterated Quine–McCluskey prime
+sets in hash order, so table text changed with ``PYTHONHASHSEED``.  Any
+function that (transitively, within its module) feeds rendered output,
+``canonical_json``, or a cache/store key must not iterate a ``set`` /
+``frozenset`` without an explicit order.
+
+Mechanics: seed a taint set from *sink* functions — recognised by name
+(``describe``, ``canonical_json``, ``cell_key``, ``render*`` …) or by
+calling ``json.dumps`` — close it over the intra-module call graph, and
+flag set-typed iteration sites inside tainted functions unless the
+iteration lands in an order-insensitive consumer (``sorted``, ``min``,
+``sum``, another set, …).
+
+``dict`` iteration is deliberately *not* flagged: dicts preserve
+insertion order on every Python this repo supports, so dict order is
+deterministic unless the keys came out of a set — which this rule
+catches at the set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.devtools.engine import Finding, ModuleUnderLint
+from repro.devtools.scopes import (
+    FunctionInfo,
+    FunctionNode,
+    LocalCallGraph,
+    SetTypes,
+    call_target,
+    immediate_body_walk,
+    module_functions,
+)
+
+# Functions whose very name marks them as producing rendered output or
+# canonical keys.  This is the project's sink registry — extend it when a
+# new output surface appears.
+SINK_NAMES = frozenset(
+    {
+        "describe",
+        "canonical_json",
+        "canonical_key",
+        "cell_key",
+        "to_json",
+        "to_text",
+        "exposition",
+        "snapshot",
+        "__str__",
+        "__repr__",
+        "truth_table_minimise",
+        "minimise",
+        "minimised_cover",
+    }
+)
+SINK_PREFIXES = ("render", "format_")
+SINK_CALLEES = frozenset({"json.dumps", "json.dump"})
+
+# Consumers for which iteration order cannot be observed downstream.
+_ORDER_INSENSITIVE = frozenset(
+    {
+        "sorted",
+        "min",
+        "max",
+        "sum",
+        "any",
+        "all",
+        "len",
+        "set",
+        "frozenset",
+        "Counter",
+        "collections.Counter",
+    }
+)
+# Calls that materialise iteration order into their result.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "reversed"})
+
+
+def _is_sink(info: FunctionInfo) -> bool:
+    name = info.node.name
+    if name in SINK_NAMES or name.startswith(SINK_PREFIXES):
+        return True
+    for node in immediate_body_walk(info.node):
+        if isinstance(node, ast.Call):
+            target = call_target(node)
+            if target is None:
+                continue
+            if target in SINK_CALLEES:
+                return True
+            bare = target.rsplit(".", maxsplit=1)[-1]
+            if bare in SINK_NAMES or bare.startswith(SINK_PREFIXES):
+                return True
+    return False
+
+
+def _iteration_sites(
+    func_node: FunctionNode,
+) -> Iterator[Tuple[ast.expr, ast.AST, str]]:
+    """Yield ``(iterated expr, anchor node, description)`` triples."""
+    for node in immediate_body_walk(func_node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node, "a for loop"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                yield gen.iter, node, "a comprehension"
+        elif isinstance(node, ast.Call):
+            target = call_target(node)
+            if target in _ORDER_SENSITIVE_CALLS and node.args:
+                yield node.args[0], node, f"{target}(...)"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+            ):
+                yield node.args[0], node, "str.join"
+        # SetComp targets a set again: order is laundered, not observed.
+
+
+def _consumed_order_insensitively(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> bool:
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        target = call_target(parent)
+        if target in _ORDER_INSENSITIVE:
+            return True
+    return False
+
+
+class Det01:
+    code = "DET01"
+    title = "set iteration on a rendering/key path without sorted()"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        functions = module_functions(module.tree, module.parents)
+        graph = LocalCallGraph(functions, module.parents)
+        tainted = graph.callee_closure(f for f in functions if _is_sink(f))
+        for info in functions:
+            if info.node not in tainted:
+                continue
+            types = SetTypes(info.node)
+            seen: Set[Tuple[int, int]] = set()
+            for iter_expr, anchor, how in _iteration_sites(info.node):
+                if not types.is_set(iter_expr):
+                    continue
+                if _consumed_order_insensitively(anchor, module.parents):
+                    continue
+                key = (anchor.lineno, anchor.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    rule=self.code,
+                    path=module.rel_path,
+                    line=anchor.lineno,
+                    col=anchor.col_offset,
+                    message=(
+                        f"iterating a set in {how} inside {info.qualname!r}, "
+                        "which feeds rendered output or a canonical key; "
+                        "set order depends on PYTHONHASHSEED — wrap the "
+                        "iterable in sorted(...)"
+                    ),
+                    context=info.qualname,
+                )

@@ -1,0 +1,144 @@
+"""RES01 — every acquired descriptor needs a disposition.
+
+The PR 3 bug class: ``harness/runner.py`` once leaked the parent end of
+result pipes on early-exit paths until the scheduler ran out of fds.
+This rule does a lightweight escape analysis per function: a name bound
+from ``open``/``os.open``/``os.pipe``/``os.fdopen``/``socket.socket``/…
+must have *some* disposition somewhere in the function — closed
+(``x.close()`` or passed to a call like ``os.close(x)``), managed
+(``with``), returned/yielded to a caller, stored on an object, or
+aliased onward.  A resource with no disposition at all cannot be closed
+on *any* path, which is the unambiguous leak this rule reports.
+
+This is deliberately path-insensitive: "closed on the happy path but
+not under exceptions" is real but noisy to prove lexically; "never
+closed anywhere" is the PR 3 shape and has no false positives worth
+arguing about.  ``with open(...) as f`` never binds through an
+``Assign`` node, so managed resources are invisible to the tracker by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.devtools.engine import Finding, ModuleUnderLint
+from repro.devtools.scopes import (
+    FunctionNode,
+    call_target,
+    immediate_body_walk,
+    module_functions,
+)
+
+OPEN_CALLS: Dict[str, str] = {
+    "open": "open()",
+    "os.open": "os.open()",
+    "os.fdopen": "os.fdopen()",
+    "os.pipe": "os.pipe()",
+    "os.dup": "os.dup()",
+    "socket.socket": "socket.socket()",
+    "socket.create_connection": "socket.create_connection()",
+    "socket.socketpair": "socket.socketpair()",
+}
+
+
+def _opened_names(func: FunctionNode) -> List[Tuple[str, int, str]]:
+    """``(name, line, what)`` for every resource bound to a local name."""
+    opened: List[Tuple[str, int, str]] = []
+    for node in immediate_body_walk(func):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        target_call = call_target(node.value)
+        if target_call not in OPEN_CALLS:
+            continue
+        what = OPEN_CALLS[target_call]
+        if len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            opened.append((target.id, node.lineno, what))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # r, w = os.pipe(): each descriptor has its own lifecycle.
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    opened.append((element.id, node.lineno, what))
+    return opened
+
+
+def _disposed_names(func: FunctionNode) -> Set[str]:
+    """Names that are closed, handed off, stored, or escape the function."""
+    disposed: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr in ("close", "shutdown", "detach")
+                and isinstance(func_expr.value, ast.Name)
+            ):
+                disposed.add(func_expr.value.id)
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                for name in ast.walk(arg):
+                    if isinstance(name, ast.Name):
+                        disposed.add(name.id)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                for name in ast.walk(node.value):
+                    if isinstance(name, ast.Name):
+                        disposed.add(name.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for name in ast.walk(item.context_expr):
+                    if isinstance(name, ast.Name):
+                        disposed.add(name.id)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            if value is None:
+                continue
+            aliases: List[str] = []
+            if isinstance(value, ast.Name):
+                aliases.append(value.id)
+            elif isinstance(value, (ast.Tuple, ast.List)):
+                aliases.extend(
+                    e.id for e in value.elts if isinstance(e, ast.Name)
+                )
+            targets: Sequence[ast.expr] = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            stores_away = any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets
+            )
+            if aliases and (stores_away or isinstance(node, ast.Assign)):
+                disposed.update(aliases)
+    return disposed
+
+
+class Res01:
+    code = "RES01"
+    title = "resource acquired but never closed or handed off"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for info in module_functions(module.tree, module.parents):
+            opened = _opened_names(info.node)
+            if not opened:
+                continue
+            disposed = _disposed_names(info.node)
+            for name, line, what in opened:
+                if name in disposed:
+                    continue
+                yield Finding(
+                    rule=self.code,
+                    path=module.rel_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"{name!r} holds a descriptor from {what} but is "
+                        "never closed, returned, stored, or passed on — "
+                        "close it in a finally block or use a with "
+                        "statement (the PR 3 runner fd-leak class)"
+                    ),
+                    context=info.qualname,
+                )

@@ -1,0 +1,312 @@
+"""Lightweight scope and alias resolution shared by the lint rules.
+
+Everything here is deliberately intra-module: the rules reason about one
+source file at a time, so the call graph, name tables, and type guesses
+never chase imports.  That keeps the engine fast (a single parse + a few
+walks per file) and keeps false positives explainable — a rule only
+claims what it can see in the file it is pointing at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+_OPAQUE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node to its syntactic parent (identity-keyed)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def dotted(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` chains of Names/Attributes; ``None`` otherwise."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def call_target(call: ast.Call) -> Optional[str]:
+    """The dotted name a call invokes, e.g. ``os.fork`` or ``self.close``."""
+    return dotted(call.func)
+
+
+def ancestors(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> Iterator[ast.AST]:
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def enclosing_context(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> str:
+    """Dotted qualname of the defs/classes enclosing ``node`` (may be '')."""
+    names: List[str] = []
+    for anc in ancestors(node, parents):
+        if isinstance(anc, _SCOPE_NODES):
+            names.append(anc.name)
+    return ".".join(reversed(names))
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """A def (module-level, method, or nested) with its resolved context."""
+
+    node: FunctionNode
+    qualname: str
+    class_name: Optional[str]
+    parent_function: Optional[FunctionNode]
+
+
+def module_functions(
+    tree: ast.Module, parents: Dict[ast.AST, ast.AST]
+) -> List[FunctionInfo]:
+    infos: List[FunctionInfo] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, FUNCTION_NODES):
+            continue
+        class_name: Optional[str] = None
+        parent_function: Optional[FunctionNode] = None
+        for anc in ancestors(node, parents):
+            if isinstance(anc, ast.ClassDef) and class_name is None:
+                class_name = anc.name
+            if isinstance(anc, FUNCTION_NODES) and parent_function is None:
+                parent_function = anc
+            if class_name is not None and parent_function is not None:
+                break
+        context = enclosing_context(node, parents)
+        qualname = f"{context}.{node.name}" if context else node.name
+        infos.append(
+            FunctionInfo(
+                node=node,
+                qualname=qualname,
+                class_name=class_name,
+                parent_function=parent_function,
+            )
+        )
+    return infos
+
+
+def immediate_body_walk(func: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs/lambdas.
+
+    Nested functions execute when *called*, not where they are defined, so
+    rules that reason about what a function *does* must not attribute a
+    nested def's body to its parent.  Nested defs get their own
+    :class:`FunctionInfo` and are analysed separately.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _OPAQUE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class LocalCallGraph:
+    """Intra-module call edges resolved purely by name.
+
+    Edges go from a function to the local callables it invokes directly:
+    module-level functions by bare name, same-class methods via
+    ``self.<name>``, and nested defs visible in the enclosing function.
+    This is an under-approximation (callbacks passed by reference are not
+    edges), which is the right bias for lint rules: missing an edge can
+    miss a finding but never invents one.
+    """
+
+    def __init__(
+        self, functions: Sequence[FunctionInfo], parents: Dict[ast.AST, ast.AST]
+    ) -> None:
+        self._functions = list(functions)
+        self._by_node: Dict[ast.AST, FunctionInfo] = {f.node: f for f in functions}
+        module_level: Dict[str, FunctionInfo] = {}
+        methods: Dict[Tuple[str, str], FunctionInfo] = {}
+        nested: Dict[Tuple[ast.AST, str], FunctionInfo] = {}
+        for info in functions:
+            if info.parent_function is not None:
+                nested[(info.parent_function, info.node.name)] = info
+            elif info.class_name is not None:
+                methods[(info.class_name, info.node.name)] = info
+            else:
+                module_level[info.node.name] = info
+        self._edges: Dict[ast.AST, List[FunctionInfo]] = {}
+        for info in functions:
+            callees: List[FunctionInfo] = []
+            for node in immediate_body_walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = call_target(node)
+                if target is None:
+                    continue
+                resolved = self._resolve(info, target, nested, methods, module_level)
+                if resolved is not None:
+                    callees.append(resolved)
+            self._edges[info.node] = callees
+
+    def _resolve(
+        self,
+        caller: FunctionInfo,
+        target: str,
+        nested: Dict[Tuple[ast.AST, str], FunctionInfo],
+        methods: Dict[Tuple[str, str], FunctionInfo],
+        module_level: Dict[str, FunctionInfo],
+    ) -> Optional[FunctionInfo]:
+        if target.startswith("self.") and caller.class_name is not None:
+            name = target[len("self.") :]
+            if "." not in name:
+                return methods.get((caller.class_name, name))
+            return None
+        if "." in target:
+            return None
+        # Look for a nested def in the caller, then in each enclosing
+        # function, before falling back to module scope.
+        scope: Optional[FunctionNode] = caller.node
+        while scope is not None:
+            hit = nested.get((scope, target))
+            if hit is not None:
+                return hit
+            scope_info = self._by_node.get(scope)
+            scope = scope_info.parent_function if scope_info is not None else None
+        return module_level.get(target)
+
+    def callees(self, func: FunctionNode) -> List[FunctionInfo]:
+        return self._edges.get(func, [])
+
+    def callee_closure(self, seeds: Iterable[FunctionInfo]) -> Set[ast.AST]:
+        """Seeds plus everything they transitively call (taint direction)."""
+        marked: Set[ast.AST] = set()
+        stack = [s.node for s in seeds]
+        while stack:
+            node = stack.pop()
+            if node in marked:
+                continue
+            marked.add(node)
+            stack.extend(c.node for c in self._edges.get(node, []))
+        return marked
+
+    def calling_closure(self, seeds: Iterable[FunctionInfo]) -> Set[ast.AST]:
+        """Seeds plus everything that transitively calls them."""
+        marked: Set[ast.AST] = {s.node for s in seeds}
+        changed = True
+        while changed:
+            changed = False
+            for info in self._functions:
+                if info.node in marked:
+                    continue
+                if any(c.node in marked for c in self._edges.get(info.node, [])):
+                    marked.add(info.node)
+                    changed = True
+        return marked
+
+
+_SET_ANNOTATION_NAMES = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+}
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    name = dotted(target)
+    if name is None:
+        return False
+    return name.rsplit(".", maxsplit=1)[-1] in _SET_ANNOTATION_NAMES
+
+
+@dataclass
+class SetTypes:
+    """Flow-insensitive guess at which local names hold sets.
+
+    A name counts as set-typed if *any* assignment in the function gives it
+    a recognisably set-valued expression, or its annotation says so.  The
+    inference iterates to a fixpoint so chains like ``a = set(); b = a``
+    resolve.
+    """
+
+    func: FunctionNode
+    names: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        args = self.func.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]:
+            if arg.annotation is not None and _annotation_is_set(arg.annotation):
+                self.names.add(arg.arg)
+        assigns: List[Tuple[str, ast.expr]] = []
+        for node in immediate_body_walk(self.func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.append((target.id, node.value))
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_is_set(node.annotation):
+                    self.names.add(node.target.id)
+                elif node.value is not None:
+                    assigns.append((node.target.id, node.value))
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                assigns.append((node.target.id, node.value))
+        for _ in range(4):  # fixpoint; chains longer than 4 hops are unheard of
+            grew = False
+            for name, value in assigns:
+                if name not in self.names and self.is_set(value):
+                    self.names.add(name)
+                    grew = True
+            if not grew:
+                break
+
+    def is_set(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.names
+        if isinstance(expr, ast.Call):
+            target = call_target(expr)
+            if target in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _SET_METHODS
+                and self.is_set(expr.func.value)
+            ):
+                return True
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_BINOPS):
+            return self.is_set(expr.left) or self.is_set(expr.right)
+        if isinstance(expr, ast.IfExp):
+            return self.is_set(expr.body) or self.is_set(expr.orelse)
+        return False

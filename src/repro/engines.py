@@ -58,15 +58,9 @@ def checker_for(space, engine: str = DEFAULT_ENGINE):
     """
     validate_engine(engine)
     if engine == "bitset":
-        from repro.core.checker import ModelChecker
-
         return ModelChecker(space)
     if engine == "symbolic":
-        from repro.symbolic.checker import SymbolicChecker
-
         return SymbolicChecker(space)
-    from repro.core.reference import SetChecker
-
     return SetChecker(space)
 
 
@@ -80,8 +74,18 @@ def check_bits(checker, formula: Formula) -> List[int]:
     native = getattr(checker, "check_bits", None)
     if native is not None:
         return native(formula)
-    # Imported here: repro.core's package init pulls in the synthesis layer,
-    # which itself imports this module.
-    from repro.core.bitset import from_level_sets
-
     return from_level_sets(checker.check(formula))
+
+
+# These imports live at the bottom of the module, not inside the functions
+# above: repro.core's package init pulls in the synthesis layer, which
+# imports this module, so top-of-module imports would hit the cycle while
+# this module's names are still undefined.  By the time the imports below
+# execute, every public name above is bound, so the cycle resolves in
+# either entry order — and the checker classes are fully imported while
+# the process is still single-threaded, which is what IMP01 demands
+# (serving threads must never be first to execute an import).
+from repro.core.bitset import from_level_sets  # noqa: E402
+from repro.core.checker import ModelChecker  # noqa: E402
+from repro.core.reference import SetChecker  # noqa: E402
+from repro.symbolic.checker import SymbolicChecker  # noqa: E402

@@ -90,10 +90,12 @@ class _Metric:
         self.name = name
         self.help = help
         self._lock = lock
-        self._series: Dict[LabelKey, object] = {}
+        self._series: Dict[LabelKey, object] = {}  # guarded by: _lock
         # Per-series append-only event buffers fed by bound children; folded
         # into _series lazily (reads, or overflow past _FOLD_THRESHOLD).
-        self._pending: Dict[LabelKey, List[float]] = {}
+        # The dict itself is guarded; the buffered lists are appended to
+        # lock-free and drained under the lock (see _drain).
+        self._pending: Dict[LabelKey, List[float]] = {}  # guarded by: _lock
 
     def _pending_buffer(self, key: LabelKey) -> List[float]:
         with self._lock:
@@ -309,7 +311,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: Dict[str, _Metric] = {}
+        self._metrics: Dict[str, _Metric] = {}  # guarded by: _lock
 
     def _get_or_create(self, name: str, factory) -> _Metric:
         with self._lock:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.api.scenario import Scenario
+from repro.api.scenario import TASK_FIELDS, Scenario
 from repro.runtime.plan import (
     SHARED_SPACE_TASKS,
     SpaceArtefacts,
@@ -173,8 +173,11 @@ def parse_frontier(spec: str) -> List[Tuple[str, Scenario]]:
     ``ValueError`` for unknown names or malformed options, so the CLI can
     reject a typo before binding a socket.
     """
-    # Local import: harness.tables imports this package at module level.
-    from repro.harness.tables import (
+    # Local import: harness.tables imports this package at module level, so
+    # hoisting would close an import cycle.  The race IMP01 guards against
+    # cannot bite here: serve() calls parse_frontier on the main thread,
+    # before the preload worker or any serving thread exists.
+    from repro.harness.tables import (  # lint: disable=IMP01
         _resolved_cells,
         ablation_failure_models,
         ablation_temporal_only,
@@ -219,8 +222,6 @@ def parse_frontier(spec: str) -> List[Tuple[str, Scenario]]:
                     "(expected max-n or engine)"
                 )
     table_spec = factories[name](**kwargs)
-
-    from repro.api.scenario import TASK_FIELDS
 
     cells: List[Tuple[str, Scenario]] = []
     for _, _, task, params in _resolved_cells(table_spec, None):

@@ -1,0 +1,87 @@
+"""Self-check: the shipped tree passes its own static analysis.
+
+This is the tentpole's enforcement loop — ``repro lint`` runs inside
+tier-1, so a PR that introduces an unsorted rendering iteration, an
+unguarded attribute access, a thread-before-fork ordering, an fd leak,
+or a serving-side lazy import fails ``pytest`` before it fails a
+reviewer.  Findings must be fixed, pragma'd with a justification, or
+baselined (with a justification) in ``lint-baseline.json``.
+"""
+
+import functools
+import json
+import time
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.devtools import Baseline, LintEngine, all_rules, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+@functools.lru_cache(maxsize=1)
+def _run_suite():
+    baseline = (
+        Baseline.load(BASELINE_PATH) if BASELINE_PATH.is_file() else None
+    )
+    engine = LintEngine(all_rules(), baseline=baseline)
+    return engine.run([PACKAGE_ROOT], rel_to=PACKAGE_ROOT.parent)
+
+
+def test_shipped_tree_has_no_findings():
+    started = time.monotonic()
+    report = _run_suite()
+    elapsed = time.monotonic() - started
+    assert report.errors == [], render_text(report)
+    assert report.findings == [], (
+        "repro lint found non-baselined findings:\n" + render_text(report)
+    )
+    # The acceptance bar is <10s over src/repro; leave slack for slow CI.
+    assert elapsed < 30.0, f"lint took {elapsed:.1f}s"
+
+
+def test_suite_actually_covered_the_tree():
+    report = _run_suite()
+    assert report.files_scanned > 50
+    assert report.rules == ("DET01", "FORK01", "IMP01", "LOCK01", "RES01")
+
+
+def test_engine_never_crashes_on_any_shipped_file():
+    """Property: parse → analyze → render → rehydrate for every file."""
+    from repro.devtools import report_from_json
+
+    engine = LintEngine(all_rules())
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        report = engine.run([path], rel_to=PACKAGE_ROOT.parent)
+        crashes = [e for e in report.errors if "crashed" in e.message]
+        assert crashes == [], f"{path}: {crashes}"
+        from repro.devtools import render_json
+
+        rebuilt = report_from_json(json.loads(render_json(report)))
+        assert rebuilt.findings == report.findings
+
+
+def test_cli_lint_exits_zero_on_shipped_tree(capsys):
+    exit_code = main(["lint", "--baseline", str(BASELINE_PATH)])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "finding(s)" in out
+
+
+def test_cli_lint_json_is_schema_versioned(capsys):
+    exit_code = main(
+        ["lint", "--baseline", str(BASELINE_PATH), "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["schema_version"] == 1
+    assert payload["findings"] == []
+
+
+def test_committed_baseline_is_loadable_and_justified():
+    baseline = Baseline.load(BASELINE_PATH)
+    for entry in baseline.entries:
+        assert entry.justification.strip()

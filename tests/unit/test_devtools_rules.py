@@ -1,0 +1,391 @@
+"""Unit tests for the ``repro lint`` rules and engine.
+
+Each rule gets the four-quadrant treatment the analyzer contract
+promises: a fixture where it must fire (the true positive the rule was
+built for), one where it must stay silent, one where a per-line pragma
+suppresses it, and one where a baseline entry does.  The engine-level
+tests pin the suppression accounting, the schema-versioned JSON report,
+and the rule registry's ``repro.engines``-style validation.
+"""
+
+import json
+
+import pytest
+
+from repro.api.results import SchemaVersionError
+from repro.devtools import (
+    Baseline,
+    BaselineEntry,
+    check_source,
+    render_json,
+    report_from_json,
+    rules_for,
+    validate_rule,
+)
+from repro.devtools.rules import RULE_CODES, all_rules, rule_for
+
+DET01_POSITIVE = '''
+def describe(space):
+    items = {frontier(x) for x in range(space)}
+    return ", ".join(str(x) for x in items)
+'''
+
+DET01_NEGATIVE = '''
+def describe(space):
+    items = {frontier(x) for x in range(space)}
+    return ", ".join(str(x) for x in sorted(items))
+'''
+
+LOCK01_POSITIVE = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded by: _lock
+
+    def put(self, key, value):
+        self._items[key] = value
+'''
+
+LOCK01_NEGATIVE = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get_locked(self, key):
+        # _locked suffix: the caller holds the lock.
+        return self._items[key]
+'''
+
+FORK01_POSITIVE = '''
+import os
+import threading
+
+def run():
+    worker = threading.Thread(target=print)
+    worker.start()
+    pid = os.fork()
+'''
+
+FORK01_NEGATIVE = '''
+import os
+import threading
+
+def run():
+    worker = threading.Thread(target=print)
+    worker.start()
+    worker.join()
+    pid = os.fork()
+'''
+
+FORK01_HANDLER_POSITIVE = '''
+import signal
+import threading
+
+def install(server):
+    def _stop(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+    signal.signal(signal.SIGTERM, _stop)
+'''
+
+FORK01_HANDLER_NEGATIVE = '''
+import os
+import signal
+
+def install(children):
+    def _fan_out(signum, frame):
+        for pid in list(children):
+            os.kill(pid, signal.SIGTERM)
+        signal.alarm(5)
+    def _expired(signum, frame):
+        raise TimeoutError("wall clock exceeded")
+    signal.signal(signal.SIGTERM, _fan_out)
+    signal.signal(signal.SIGALRM, _expired)
+'''
+
+RES01_POSITIVE = '''
+import os
+
+def leak():
+    read_end, write_end = os.pipe()
+    os.close(write_end)
+    return None
+'''
+
+RES01_NEGATIVE = '''
+import os
+
+def balanced():
+    read_end, write_end = os.pipe()
+    try:
+        return os.read(read_end, 1)
+    finally:
+        os.close(read_end)
+        os.close(write_end)
+
+def handed_off(path):
+    handle = open(path)
+    return handle
+
+def stored(self, path):
+    self.handle = open(path)
+    self.handle = None
+
+def managed(path):
+    with open(path) as handle:
+        return handle.read()
+'''
+
+IMP01_POSITIVE = '''
+def checker_for(space):
+    from repro.core.checker import ModelChecker
+    return ModelChecker(space)
+'''
+
+IMP01_NEGATIVE = '''
+from repro.core.checker import ModelChecker
+
+def checker_for(space):
+    return ModelChecker(space)
+'''
+
+CASES = {
+    "DET01": (DET01_POSITIVE, DET01_NEGATIVE),
+    "LOCK01": (LOCK01_POSITIVE, LOCK01_NEGATIVE),
+    "FORK01": (FORK01_POSITIVE, FORK01_NEGATIVE),
+    "RES01": (RES01_POSITIVE, RES01_NEGATIVE),
+    "IMP01": (IMP01_POSITIVE, IMP01_NEGATIVE),
+}
+
+
+def _findings(source, code, **kwargs):
+    report = check_source(source, rules_for([code]), **kwargs)
+    assert not report.errors, report.errors
+    return report.findings
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code", sorted(CASES))
+    def test_positive_fires(self, code):
+        positive, _ = CASES[code]
+        findings = _findings(positive, code)
+        assert findings, f"{code} must fire on its true-positive fixture"
+        assert all(f.rule == code for f in findings)
+        assert all(f.line > 0 and f.context for f in findings)
+
+    @pytest.mark.parametrize("code", sorted(CASES))
+    def test_negative_is_silent(self, code):
+        _, negative = CASES[code]
+        assert _findings(negative, code) == []
+
+    @pytest.mark.parametrize("code", sorted(CASES))
+    def test_pragma_suppresses(self, code):
+        positive, _ = CASES[code]
+        baseline_run = check_source(positive, rules_for([code]))
+        line = baseline_run.findings[0].line
+        lines = positive.splitlines()
+        lines[line - 1] = lines[line - 1] + "  # lint: disable=" + code
+        suppressed = check_source("\n".join(lines), rules_for([code]))
+        assert suppressed.findings == []
+        assert suppressed.suppressed_pragma >= 1
+
+    @pytest.mark.parametrize("code", sorted(CASES))
+    def test_baseline_suppresses(self, code):
+        positive, _ = CASES[code]
+        first_run = check_source(positive, rules_for([code]))
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    context=f.context,
+                    justification="grandfathered for the fixture test",
+                )
+                for f in first_run.findings
+            ]
+        )
+        second_run = check_source(
+            positive, rules_for([code]), baseline=baseline
+        )
+        assert second_run.findings == []
+        assert second_run.suppressed_baseline == len(first_run.findings)
+
+
+class TestDet01Semantics:
+    def test_order_insensitive_consumers_are_fine(self):
+        source = '''
+def describe(space):
+    items = {x for x in range(space)}
+    total = sum(items)
+    low = min(items)
+    copied = set(items)
+    return f"{total}-{low}-{len(copied)}"
+'''
+        assert _findings(source, "DET01") == []
+
+    def test_taint_follows_local_calls(self):
+        source = '''
+def _rows(space):
+    return [str(x) for x in space]
+
+def describe(space):
+    return ", ".join(_rows({x for x in range(space)}))
+'''
+        # _rows is called from a sink, so a set iterated inside it is hot.
+        tainted = '''
+def _rows(space):
+    items = {x for x in range(space)}
+    return [str(x) for x in items]
+
+def describe(space):
+    return ", ".join(_rows(space))
+'''
+        assert _findings(source, "DET01") == []  # the set is only built
+        findings = _findings(tainted, "DET01")
+        assert [f.context for f in findings] == ["_rows"]
+
+    def test_untainted_functions_iterate_sets_freely(self):
+        source = '''
+def frontier(space):
+    return [x for x in {x for x in range(space)}]
+'''
+        assert _findings(source, "DET01") == []
+
+
+class TestFork01Semantics:
+    def test_helper_that_leaks_a_thread_counts_as_start(self):
+        source = '''
+import os
+import threading
+
+def gatekeeper():
+    worker = threading.Thread(target=print)
+    worker.start()
+    return worker
+
+def serve():
+    gate = gatekeeper()
+    os.fork()
+'''
+        findings = _findings(source, "FORK01")
+        assert [f.context for f in findings] == ["serve"]
+
+    def test_joining_the_helper_thread_clears_it(self):
+        source = '''
+import os
+import threading
+
+def gatekeeper():
+    worker = threading.Thread(target=print)
+    worker.start()
+    return worker
+
+def serve():
+    gate = gatekeeper()
+    gate.join()
+    os.fork()
+'''
+        assert _findings(source, "FORK01") == []
+
+    def test_safe_handlers_pass(self):
+        assert _findings(FORK01_HANDLER_NEGATIVE, "FORK01") == []
+
+
+class TestRes01Semantics:
+    def test_dispositions_silence_the_rule(self):
+        assert _findings(RES01_NEGATIVE, "RES01") == []
+
+    def test_unreferenced_socket_is_flagged(self):
+        source = '''
+import socket
+
+def probe(host, port):
+    conn = socket.create_connection((host, port))
+    return True
+'''
+        findings = _findings(source, "RES01")
+        assert len(findings) == 1
+        assert "conn" in findings[0].message
+
+
+class TestImp01Scope:
+    def test_driver_side_modules_are_exempt(self):
+        assert (
+            _findings(IMP01_POSITIVE, "IMP01", rel_path="repro/harness/x.py")
+            == []
+        )
+        assert (
+            _findings(IMP01_POSITIVE, "IMP01", rel_path="repro/cli.py") == []
+        )
+
+    def test_serving_side_modules_are_in_scope(self):
+        for rel_path in ("repro/api/x.py", "repro/engines.py"):
+            assert _findings(IMP01_POSITIVE, "IMP01", rel_path=rel_path)
+
+
+class TestRegistry:
+    def test_rule_codes_are_sorted_and_complete(self):
+        assert RULE_CODES == ("DET01", "FORK01", "IMP01", "LOCK01", "RES01")
+        assert len(all_rules()) == len(RULE_CODES)
+
+    def test_validate_normalises_and_rejects(self):
+        assert validate_rule(" det01 ") == "DET01"
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            validate_rule("NOPE99")
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            rule_for("NOPE99")
+
+    def test_rules_carry_code_and_title(self):
+        for rule in all_rules():
+            assert rule.code in RULE_CODES
+            assert rule.title
+
+
+class TestReportSchema:
+    def test_json_report_round_trips(self):
+        report = check_source(DET01_POSITIVE, all_rules())
+        payload = json.loads(render_json(report))
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "repro-lint"
+        rebuilt = report_from_json(payload)
+        assert rebuilt.findings == report.findings
+        assert rebuilt.files_scanned == report.files_scanned
+        assert rebuilt.rules == report.rules
+
+    def test_unknown_schema_version_is_rejected(self):
+        report = check_source(DET01_POSITIVE, all_rules())
+        payload = json.loads(render_json(report))
+        payload["schema_version"] = 99
+        with pytest.raises(SchemaVersionError):
+            report_from_json(payload)
+        with pytest.raises(SchemaVersionError):
+            report_from_json({})
+
+    def test_baseline_requires_justifications(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "entries": [
+                        {"rule": "DET01", "path": "x.py", "context": "f"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(path)
+
+    def test_baseline_rejects_other_schema_versions(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema_version": 2, "entries": []}))
+        with pytest.raises(SchemaVersionError):
+            Baseline.load(path)
